@@ -1,0 +1,86 @@
+//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+//! backtracking candidate order, sensitivity search strategy, and the
+//! DARE solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csa_bench::fixed_benchmarks;
+use csa_core::{
+    backtracking_with_order, max_stable_wcet_binary, max_stable_wcet_scan, CandidateOrder,
+};
+use csa_linalg::{solve_dare, solve_dare_fixed_point, Mat, StageCost};
+use csa_rta::Ticks;
+use std::hint::black_box;
+
+fn bench_backtracking_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backtracking_order");
+    for &n in &[8usize, 16] {
+        let benchmarks = fixed_benchmarks(n, 10, 0xAB1);
+        for (name, order) in [
+            ("input", CandidateOrder::Input),
+            ("max_slack_first", CandidateOrder::MaxSlackFirst),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    for tasks in &benchmarks {
+                        black_box(backtracking_with_order(black_box(tasks), order));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sensitivity");
+    group.sample_size(20);
+    let benchmarks = fixed_benchmarks(4, 5, 0x5E25);
+    let prepared: Vec<_> = benchmarks
+        .iter()
+        .filter_map(|tasks| {
+            csa_core::backtracking(tasks)
+                .assignment
+                .map(|pa| (tasks.clone(), pa))
+        })
+        .collect();
+    assert!(!prepared.is_empty());
+    group.bench_function("binary_search", |b| {
+        b.iter(|| {
+            for (tasks, pa) in &prepared {
+                let res = Ticks::new((tasks[0].task().period().get() / 256).max(1));
+                black_box(max_stable_wcet_binary(tasks, pa, 0, res));
+            }
+        })
+    });
+    group.bench_function("safe_scan", |b| {
+        b.iter(|| {
+            for (tasks, pa) in &prepared {
+                let res = Ticks::new((tasks[0].task().period().get() / 256).max(1));
+                black_box(max_stable_wcet_scan(tasks, pa, 0, res));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_dare_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dare");
+    let a = Mat::from_rows(&[&[1.1, 0.3], &[0.0, 0.9]]);
+    let b_in = Mat::col_vec(&[0.0, 1.0]);
+    let cost = StageCost::new(Mat::identity(2), Mat::scalar(0.5));
+    group.bench_function("doubling_sda", |b| {
+        b.iter(|| black_box(solve_dare(&a, &b_in, &cost).unwrap()))
+    });
+    group.bench_function("fixed_point", |b| {
+        b.iter(|| black_box(solve_dare_fixed_point(&a, &b_in, &cost).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_backtracking_order,
+    bench_sensitivity,
+    bench_dare_solvers
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 2 as a Criterion benchmark: the cost of one sampled-LQG cost
+//! evaluation (the kernel repeated 500 times per curve), at an ordinary
+//! period and near a pathological one, plus a small sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csa_control::{cost_curve, lqg_cost, plants, LqgWeights};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let plant = plants::lightly_damped_oscillator().unwrap();
+    let weights = LqgWeights::output_regulation(&plant, 1e-2, 1e-6);
+    let wd = 10.0 * (1.0f64 - 0.001 * 0.001).sqrt();
+    let h_pathological = std::f64::consts::PI / wd;
+
+    let mut group = c.benchmark_group("fig2_cost");
+    group.bench_function("lqg_cost_ordinary", |b| {
+        b.iter(|| black_box(lqg_cost(&plant, &weights, black_box(0.05)).unwrap()))
+    });
+    group.bench_function("lqg_cost_near_pathological", |b| {
+        b.iter(|| {
+            black_box(lqg_cost(&plant, &weights, black_box(h_pathological * 0.98)).unwrap())
+        })
+    });
+    group.bench_function("cost_sweep_16_points", |b| {
+        let periods: Vec<f64> = (1..=16).map(|k| 0.02 + 0.05 * k as f64).collect();
+        b.iter(|| black_box(cost_curve(&plant, &weights, &periods).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 4 as a Criterion benchmark: LQG design, one jitter-margin
+//! evaluation, and a full stability curve with its Eq. 5 fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csa_control::{
+    design_lqg, jitter_margin, plants, stability_curve, LqgWeights, StabilityFit,
+};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let plant = plants::dc_servo().unwrap();
+    let weights = LqgWeights::output_regulation(&plant, 1e-1, 1e-6);
+    let h = 0.006;
+    let lqg = design_lqg(&plant, &weights, h, 0.0).unwrap();
+
+    let mut group = c.benchmark_group("fig4_margin");
+    group.sample_size(20);
+    group.bench_function("design_lqg", |b| {
+        b.iter(|| black_box(design_lqg(&plant, &weights, black_box(h), 0.0).unwrap()))
+    });
+    group.bench_function("jitter_margin_single_point", |b| {
+        b.iter(|| {
+            black_box(jitter_margin(&plant, &lqg.controller, h, black_box(0.002)).unwrap())
+        })
+    });
+    group.bench_function("stability_curve_16_and_fit", |b| {
+        b.iter(|| {
+            let curve = stability_curve(&plant, &lqg.controller, h, 16).unwrap();
+            black_box(StabilityFit::from_curve(&curve))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

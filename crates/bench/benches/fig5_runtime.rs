@@ -1,0 +1,34 @@
+//! Fig. 5 as a Criterion benchmark: runtime of the backtracking
+//! Algorithm 1 vs. the Unsafe Quadratic baseline over the task count.
+//! This is the paper's timing figure — here measured properly with
+//! Criterion instead of wall-clock means.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csa_bench::fixed_benchmarks;
+use csa_core::{backtracking, unsafe_quadratic};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_runtime");
+    for &n in &[4usize, 8, 12, 16, 20] {
+        let benchmarks = fixed_benchmarks(n, 20, 0xF165);
+        group.bench_with_input(BenchmarkId::new("backtracking", n), &n, |b, _| {
+            b.iter(|| {
+                for tasks in &benchmarks {
+                    black_box(backtracking(black_box(tasks)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unsafe_quadratic", n), &n, |b, _| {
+            b.iter(|| {
+                for tasks in &benchmarks {
+                    black_box(unsafe_quadratic(black_box(tasks)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

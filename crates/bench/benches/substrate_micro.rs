@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the hand-written substrates: linear algebra
+//! kernels, response-time fixed points, and the scheduler simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csa_linalg::{
+    dlyap, eigenvalues, expm, solve_dare, spectral_radius, zoh, Mat, StageCost,
+};
+use csa_rta::{response_bounds, uunifast, Task, TaskId, Ticks};
+use csa_sim::{SimTask, Simulator, UniformPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Deterministic well-scaled test matrix.
+fn test_matrix(n: usize) -> Mat {
+    let mut seed = 0x5EEDu64;
+    Mat::from_fn(n, n, |_, _| {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    for &n in &[4usize, 8, 16] {
+        let a = test_matrix(n);
+        group.bench_with_input(BenchmarkId::new("expm", n), &n, |b, _| {
+            b.iter(|| black_box(expm(black_box(&a)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("eigenvalues", n), &n, |b, _| {
+            b.iter(|| black_box(eigenvalues(black_box(&a)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("spectral_radius", n), &n, |b, _| {
+            b.iter(|| black_box(spectral_radius(black_box(&a)).unwrap()))
+        });
+        let stable = a.scale(0.9 / spectral_radius(&a).unwrap().max(1e-9));
+        group.bench_with_input(BenchmarkId::new("dlyap", n), &n, |b, _| {
+            b.iter(|| black_box(dlyap(black_box(&stable), &Mat::identity(n)).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("control_kernels");
+    // DARE on the discretized DC servo.
+    let servo = csa_control::plants::dc_servo().unwrap();
+    let d = csa_control::c2d_zoh(&servo, 0.006).unwrap();
+    let cost = StageCost::new(Mat::identity(2), Mat::scalar(0.1));
+    group.bench_function("dare_servo", |b| {
+        b.iter(|| black_box(solve_dare(d.a(), d.b(), &cost).unwrap()))
+    });
+    group.bench_function("zoh_servo", |b| {
+        b.iter(|| black_box(zoh(servo.a(), servo.b(), black_box(0.006)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_rta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rta");
+    for &n in &[4usize, 16, 64] {
+        // Rate-monotonic chain of n tasks.
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                Task::new(
+                    TaskId::new(i as u32),
+                    Ticks::new(50 + i as u64),
+                    Ticks::new(100 + i as u64 * 10),
+                    Ticks::new(1000 * (i as u64 + 1)),
+                )
+                .unwrap()
+            })
+            .collect();
+        let (last, hp) = tasks.split_last().unwrap();
+        group.bench_with_input(BenchmarkId::new("response_bounds", n), &n, |b, _| {
+            b.iter(|| black_box(response_bounds(black_box(last), black_box(hp))))
+        });
+    }
+    group.bench_function("uunifast_20", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(uunifast(20, 0.8, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    let tasks: Vec<SimTask> = (0..6u32)
+        .map(|i| {
+            SimTask::new(
+                Task::new(
+                    TaskId::new(i),
+                    Ticks::new(40),
+                    Ticks::new(100),
+                    Ticks::new(1000 * (i as u64 + 1)),
+                )
+                .unwrap(),
+                10 - i,
+            )
+        })
+        .collect();
+    let sim = Simulator::new(tasks);
+    group.bench_function("simulate_100k_ticks_6_tasks", |b| {
+        b.iter(|| {
+            let mut policy = UniformPolicy::new(3);
+            black_box(sim.run(Ticks::new(100_000), &mut policy))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg, bench_rta, bench_sim);
+criterion_main!(benches);

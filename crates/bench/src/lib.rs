@@ -1,0 +1,28 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! One bench target per paper table/figure plus substrate micro-benches
+//! and design-choice ablations; see `benches/` and DESIGN.md §6.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use csa_core::ControlTask;
+use csa_experiments::{generate_benchmark, BenchmarkConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic benchmark task set of size `n` (seeded by `n` and
+/// `seed`), drawn from the paper's §V distribution.
+pub fn fixed_benchmark(n: usize, seed: u64) -> Vec<ControlTask> {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((n as u64) << 16));
+    generate_benchmark(&BenchmarkConfig::new(n), &mut rng)
+}
+
+/// A batch of deterministic benchmarks (for averaging inside one
+/// Criterion iteration).
+pub fn fixed_benchmarks(n: usize, count: usize, seed: u64) -> Vec<Vec<ControlTask>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((n as u64) << 16));
+    (0..count)
+        .map(|_| generate_benchmark(&BenchmarkConfig::new(n), &mut rng))
+        .collect()
+}

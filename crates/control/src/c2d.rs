@@ -1,0 +1,312 @@
+//! Zero-order-hold discretization, with and without input delay.
+//!
+//! The control signal computed by a scheduled task is applied through a
+//! zero-order hold, `tau` seconds after the sampling instant (`tau` is the
+//! task's latency). Following Åström & Wittenmark (Computer-Controlled
+//! Systems §3.2), a delay `tau = d*h + tau'` with `0 <= tau' < h` yields
+//!
+//! ```text
+//! x_{k+1} = Phi x_k + Gamma1 u_{k-d-1} + Gamma0 u_{k-d}
+//! Gamma0  = int_0^{h - tau'} e^{As} ds B
+//! Gamma1  = e^{A (h - tau')} int_0^{tau'} e^{As} ds B
+//! ```
+//!
+//! and the past inputs are appended to the state so the result is again a
+//! standard (delay-free) discrete system.
+
+use crate::error::{Error, Result};
+use crate::ss::{DiscreteSs, StateSpace};
+use csa_linalg::{zoh, Mat};
+
+/// Discretizes `sys` with a zero-order hold at period `h` (no delay).
+///
+/// # Errors
+///
+/// Propagates numerical failures; rejects non-positive `h`.
+///
+/// # Examples
+///
+/// ```
+/// use csa_control::{c2d_zoh, TransferFunction};
+///
+/// # fn main() -> Result<(), csa_control::Error> {
+/// let sys = TransferFunction::new(vec![1.0], vec![1.0, 1.0])?.to_state_space()?;
+/// let d = c2d_zoh(&sys, 0.1)?;
+/// assert!((d.a()[(0, 0)] - (-0.1f64).exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn c2d_zoh(sys: &StateSpace, h: f64) -> Result<DiscreteSs> {
+    if !(h.is_finite() && h > 0.0) {
+        return Err(Error::InvalidParameter("sampling period must be positive"));
+    }
+    let pair = zoh(sys.a(), sys.b(), h)?;
+    DiscreteSs::new(pair.phi, pair.gamma, sys.c().clone(), sys.d().clone(), h)
+}
+
+/// Discretizes `sys` with a zero-order hold at period `h` and a constant
+/// input delay `tau >= 0`, augmenting the state with as many past inputs
+/// as the delay spans.
+///
+/// The augmented state is `[x; u_{k-m}; ...; u_{k-1}]` where `m` is the
+/// number of stored past inputs; the output equation reads the plant state
+/// only.
+///
+/// # Errors
+///
+/// [`Error::UnsupportedModel`] if the plant has direct feedthrough
+/// (`D != 0`) — a delayed ZOH of a non-strictly-proper plant is not
+/// meaningful here; [`Error::InvalidParameter`] for negative `tau` or
+/// non-positive `h`.
+///
+/// # Examples
+///
+/// ```
+/// use csa_control::{c2d_zoh_delayed, TransferFunction};
+///
+/// # fn main() -> Result<(), csa_control::Error> {
+/// let sys = TransferFunction::new(vec![1.0], vec![1.0, 0.0])?.to_state_space()?;
+/// // Integrator, h = 1, delay 0.25: one past input is stored.
+/// let d = c2d_zoh_delayed(&sys, 1.0, 0.25)?;
+/// assert_eq!(d.order(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn c2d_zoh_delayed(sys: &StateSpace, h: f64, tau: f64) -> Result<DiscreteSs> {
+    if !(h.is_finite() && h > 0.0) {
+        return Err(Error::InvalidParameter("sampling period must be positive"));
+    }
+    if !(tau.is_finite() && tau >= 0.0) {
+        return Err(Error::InvalidParameter("delay must be non-negative"));
+    }
+    if sys.d().max_abs() != 0.0 {
+        return Err(Error::UnsupportedModel(
+            "delayed discretization requires a strictly proper plant (D = 0)",
+        ));
+    }
+    if tau == 0.0 {
+        return c2d_zoh(sys, h);
+    }
+    let n = sys.order();
+    let m_in = sys.inputs();
+
+    let (d, tau_frac) = delay_split(h, tau);
+
+    let full = zoh(sys.a(), sys.b(), h)?;
+    let phi = full.phi.clone();
+
+    // Number of stored past inputs and the per-column split of influence.
+    // For tau' > 0:   x+ = Phi x + Gamma1 u_{k-d-1} + Gamma0 u_{k-d}; m = d+1.
+    // For tau' == 0:  x+ = Phi x + Gamma  u_{k-d};                  m = d.
+    let (stored, gamma1, gamma0) = if tau_frac > 0.0 {
+        let head = zoh(sys.a(), sys.b(), h - tau_frac)?; // Gamma0 and e^{A(h-tau')}
+        let tail = zoh(sys.a(), sys.b(), tau_frac)?; // int_0^{tau'} e^{As} ds B
+        let gamma1 = &head.phi * &tail.gamma;
+        (d + 1, Some(gamma1), head.gamma)
+    } else {
+        (d, None, full.gamma)
+    };
+
+    if stored == 0 {
+        return c2d_zoh(sys, h);
+    }
+
+    // Augmented system dimensions.
+    let na = n + stored * m_in;
+    let mut a_aug = Mat::zeros(na, na);
+    a_aug.set_block(0, 0, &phi);
+    // Past inputs occupy slots [u_{k-stored}, ..., u_{k-1}] at offsets
+    // n + j*m_in for j = 0..stored (oldest first).
+    match &gamma1 {
+        Some(g1) => {
+            // Oldest slot: u_{k-d-1} -> Gamma1; next: u_{k-d} -> Gamma0.
+            a_aug.set_block(0, n, g1);
+            if stored >= 2 {
+                a_aug.set_block(0, n + m_in, &gamma0);
+            }
+        }
+        None => {
+            // u_{k-d} is the oldest stored input.
+            a_aug.set_block(0, n, &gamma0);
+        }
+    }
+    // Shift register: slot j takes the value of slot j+1.
+    for j in 0..stored.saturating_sub(1) {
+        a_aug.set_block(n + j * m_in, n + (j + 1) * m_in, &Mat::identity(m_in));
+    }
+
+    let mut b_aug = Mat::zeros(na, m_in);
+    if gamma1.is_none() && stored == 1 {
+        // tau' == 0 and d == 1: the newest stored slot feeds nothing in A;
+        // B writes into the register.
+        b_aug.set_block(n, 0, &Mat::identity(m_in));
+    } else {
+        // The newest register slot receives u_k.
+        b_aug.set_block(n + (stored - 1) * m_in, 0, &Mat::identity(m_in));
+    }
+    // Special case: tau' > 0 and d == 0 (delay within one period): the
+    // register has exactly one slot holding u_{k-1}, and u_k also directly
+    // drives the plant through Gamma0.
+    let mut direct = Mat::zeros(n, m_in);
+    if gamma1.is_some() && stored == 1 {
+        direct = gamma0.clone();
+    }
+    b_aug.set_block(0, 0, &direct);
+
+    let mut c_aug = Mat::zeros(sys.outputs(), na);
+    c_aug.set_block(0, 0, sys.c());
+    let d_aug = Mat::zeros(sys.outputs(), m_in);
+    DiscreteSs::new(a_aug, b_aug, c_aug, d_aug, h)
+}
+
+/// Splits a delay into whole periods and a fractional remainder:
+/// `tau = d*h + tau'` with `0 <= tau' < h`, guarding the boundary where
+/// floating-point division lands infinitesimally below an integer.
+pub(crate) fn delay_split(h: f64, tau: f64) -> (usize, f64) {
+    let mut d = (tau / h).floor() as usize;
+    let mut tau_frac = tau - d as f64 * h;
+    if tau_frac >= h - 1e-12 * h {
+        d += 1;
+        tau_frac = 0.0;
+    }
+    if tau_frac < 1e-12 * h {
+        tau_frac = 0.0;
+    }
+    (d, tau_frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ss::TransferFunction;
+
+    fn integrator() -> StateSpace {
+        TransferFunction::new(vec![1.0], vec![1.0, 0.0])
+            .unwrap()
+            .to_state_space()
+            .unwrap()
+    }
+
+    fn lag() -> StateSpace {
+        TransferFunction::new(vec![1.0], vec![1.0, 1.0])
+            .unwrap()
+            .to_state_space()
+            .unwrap()
+    }
+
+    /// Step the discrete system with a given input sequence; returns states.
+    fn simulate(d: &DiscreteSs, inputs: &[f64], steps: usize) -> Vec<f64> {
+        let n = d.order();
+        let mut x = Mat::zeros(n, 1);
+        let mut ys = Vec::new();
+        for k in 0..steps {
+            let u = Mat::scalar(inputs.get(k).copied().unwrap_or(0.0));
+            ys.push((&(d.c() * &x) + &(d.d() * &u))[(0, 0)]);
+            x = &(d.a() * &x) + &(d.b() * &u);
+        }
+        ys
+    }
+
+    #[test]
+    fn zero_delay_matches_plain_zoh() {
+        let sys = lag();
+        let a = c2d_zoh(&sys, 0.2).unwrap();
+        let b = c2d_zoh_delayed(&sys, 0.2, 0.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn integrator_fractional_delay_closed_form() {
+        // Integrator x' = u, h = 1, tau = 0.25:
+        // x_{k+1} = x_k + 0.25 u_{k-1} + 0.75 u_k.
+        let d = c2d_zoh_delayed(&integrator(), 1.0, 0.25).unwrap();
+        assert_eq!(d.order(), 2);
+        // Step input from k=0: x0 = 0; x1 = 0.75; x2 = 0.75 + 0.25 + 0.75 = 1.75.
+        let ys = simulate(&d, &[1.0, 1.0, 1.0, 1.0], 4);
+        assert!((ys[1] - 0.75).abs() < 1e-12, "got {}", ys[1]);
+        assert!((ys[2] - 1.75).abs() < 1e-12, "got {}", ys[2]);
+        assert!((ys[3] - 2.75).abs() < 1e-12, "got {}", ys[3]);
+    }
+
+    #[test]
+    fn integrator_full_period_delay() {
+        // tau = h: x_{k+1} = x_k + h * u_{k-1}.
+        let d = c2d_zoh_delayed(&integrator(), 1.0, 1.0).unwrap();
+        assert_eq!(d.order(), 2);
+        let ys = simulate(&d, &[1.0, 1.0, 1.0], 4);
+        assert!((ys[1] - 0.0).abs() < 1e-9, "got {}", ys[1]);
+        assert!((ys[2] - 1.0).abs() < 1e-9, "got {}", ys[2]);
+        assert!((ys[3] - 2.0).abs() < 1e-9, "got {}", ys[3]);
+    }
+
+    #[test]
+    fn integrator_multi_period_delay() {
+        // tau = 2.5 h: d=2, tau'=0.5: three stored inputs.
+        // x_{k+1} = x_k + 0.5 u_{k-3} + 0.5 u_{k-2}.
+        let d = c2d_zoh_delayed(&integrator(), 1.0, 2.5).unwrap();
+        assert_eq!(d.order(), 4);
+        // Unit pulse at k=0: contribution 0.5 at k=3 and 0.5 at k=4.
+        let ys = simulate(&d, &[1.0], 6);
+        assert!((ys[2] - 0.0).abs() < 1e-9);
+        assert!((ys[3] - 0.5).abs() < 1e-9, "got {}", ys[3]);
+        assert!((ys[4] - 1.0).abs() < 1e-9, "got {}", ys[4]);
+        assert!((ys[5] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delayed_step_matches_continuous_solution() {
+        // First-order lag, step applied with delay tau: at t = kh the state
+        // is 1 - e^{-(t - tau)} for t >= tau.
+        let h = 0.3;
+        let tau = 0.17;
+        let d = c2d_zoh_delayed(&lag(), h, tau).unwrap();
+        let ys = simulate(&d, &[1.0; 10], 10);
+        for (k, &yk) in ys.iter().enumerate().skip(2) {
+            let t = k as f64 * h;
+            let expect = 1.0 - (-(t - tau)).exp();
+            assert!((yk - expect).abs() < 1e-10, "k={k}: {yk} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn delay_beyond_period_matches_continuous_solution() {
+        let h = 0.25;
+        let tau = 0.6; // d = 2, tau' = 0.1
+        let d = c2d_zoh_delayed(&lag(), h, tau).unwrap();
+        assert_eq!(d.order(), 1 + 3);
+        let ys = simulate(&d, &[1.0; 12], 12);
+        for (k, &yk) in ys.iter().enumerate().skip(4) {
+            let t = k as f64 * h;
+            let expect = 1.0 - (-(t - tau)).exp();
+            assert!((yk - expect).abs() < 1e-10, "k={k}: {yk} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn boundary_delay_snaps_to_whole_periods() {
+        // tau within floating noise of h must behave like tau = h.
+        let d1 = c2d_zoh_delayed(&lag(), 0.1, 0.1).unwrap();
+        let d2 = c2d_zoh_delayed(&lag(), 0.1, 0.1 - 1e-15).unwrap();
+        assert_eq!(d1.order(), d2.order());
+    }
+
+    #[test]
+    fn feedthrough_rejected() {
+        let bi = TransferFunction::new(vec![1.0, 2.0], vec![1.0, 1.0])
+            .unwrap()
+            .to_state_space()
+            .unwrap();
+        assert!(matches!(
+            c2d_zoh_delayed(&bi, 0.1, 0.05),
+            Err(Error::UnsupportedModel(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let sys = lag();
+        assert!(c2d_zoh(&sys, 0.0).is_err());
+        assert!(c2d_zoh_delayed(&sys, 0.1, -0.1).is_err());
+        assert!(c2d_zoh_delayed(&sys, -0.1, 0.1).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Stationary quadratic (LQG) control cost.
+//!
+//! Reproduces the quantity plotted in the paper's Fig. 2: the stationary
+//! continuous-time quadratic cost of a plant under sampled LQG control,
+//!
+//! ```text
+//! J = lim (1/T) E int_0^T  x'Q1c x + u'Q2c u  dt
+//! ```
+//!
+//! computed exactly for the sampled closed loop as
+//!
+//! ```text
+//! J = ( tr(Q_zeta * Sigma) + tr(N * R1c) ) / h
+//! ```
+//!
+//! where `Sigma` is the stationary covariance of the closed-loop state
+//! `[x; xhat]` (a discrete Lyapunov equation), `Q_zeta` the exactly
+//! sampled stage cost expressed on that state, and `tr(N R1c)` the
+//! intersample contribution of process noise entering between sampling
+//! instants (a nested Van Loan integral).
+//!
+//! At *pathological sampling periods* (Kalman, Ho & Narendra) the sampled
+//! pair loses reachability and no stabilizing controller exists: the cost
+//! is `+infinity`, which this module returns as a value rather than an
+//! error — an infinite cost is the answer Fig. 2 plots.
+
+use crate::error::{Error, Result};
+use crate::lqg::{design_lqg, LqgWeights};
+use crate::ss::StateSpace;
+use csa_linalg::{dlyap, nested_gramian, Mat};
+
+/// Stationary LQG cost of `plant` sampled at period `h` (no delay).
+///
+/// Returns `f64::INFINITY` when no stabilizing sampled controller exists
+/// (pathological period) or the closed loop fails the Lyapunov solve.
+///
+/// # Errors
+///
+/// Only structural failures (dimension mismatches, invalid parameters)
+/// surface as errors; "the cost is unbounded" is an `Ok(INFINITY)`.
+///
+/// # Examples
+///
+/// ```
+/// use csa_control::{lqg_cost, plants, LqgWeights};
+///
+/// # fn main() -> Result<(), csa_control::Error> {
+/// let plant = plants::dc_servo()?;
+/// let w = LqgWeights::output_regulation(&plant, 1e-4, 1e-6);
+/// let j_fast = lqg_cost(&plant, &w, 0.01)?;
+/// assert!(j_fast.is_finite());
+/// # Ok(())
+/// # }
+/// ```
+pub fn lqg_cost(plant: &StateSpace, weights: &LqgWeights, h: f64) -> Result<f64> {
+    let lqg = match design_lqg(plant, weights, h, 0.0) {
+        Ok(l) => l,
+        Err(Error::NotStabilizable) => return Ok(f64::INFINITY),
+        Err(Error::Numerical(csa_linalg::Error::Singular)) => return Ok(f64::INFINITY),
+        Err(e) => return Err(e),
+    };
+    let n = plant.order();
+    let phi = lqg.plant_d.a().clone();
+    let gamma = lqg.plant_d.b().clone();
+    let k = &lqg.feedback_gain;
+    let kf = &lqg.kalman_gain;
+    let c = plant.c();
+
+    // Closed loop on [x; xhat] (predictor form):
+    //   x+    = Phi x - Gamma K xhat + w_d
+    //   xhat+ = Kf C x + (Phi - Gamma K - Kf C) xhat + Kf v
+    let gk = &gamma * k;
+    let kfc = &(kf * c);
+    let mut a_cl = Mat::zeros(2 * n, 2 * n);
+    a_cl.set_block(0, 0, &phi);
+    a_cl.set_block(0, n, &-(&gk));
+    a_cl.set_block(n, 0, kfc);
+    a_cl.set_block(n, n, &(&(&phi - &gk) - kfc));
+
+    // Driving noise covariance: blkdiag(R1d, Kf R2 Kf').
+    let mut w_cov = Mat::zeros(2 * n, 2 * n);
+    w_cov.set_block(0, 0, &lqg.noise_d);
+    w_cov.set_block(n, n, &(&(kf * &weights.r2) * &kf.transpose()));
+
+    let sigma = match dlyap(&a_cl, &w_cov) {
+        Ok(s) => s,
+        Err(csa_linalg::Error::NotStable) | Err(csa_linalg::Error::NoConvergence { .. }) => {
+            return Ok(f64::INFINITY)
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    // Stage cost on [x; xhat] with u = -K xhat:
+    //   [Q1d, -Q12d K; -K'Q12d', K' Q2d K].
+    let q12k = &lqg.cost_d.q12 * k;
+    let mut q_z = Mat::zeros(2 * n, 2 * n);
+    q_z.set_block(0, 0, &lqg.cost_d.q1);
+    q_z.set_block(0, n, &-(&q12k));
+    q_z.set_block(n, 0, &-(&q12k.transpose()));
+    q_z.set_block(n, n, &(&(&k.transpose() * &lqg.cost_d.q2) * k));
+
+    let sampled_part = (&q_z * &sigma).trace();
+
+    // Intersample noise contribution: tr(N R1c) with
+    // N = int_0^h int_0^s e^{A'v} Q1c e^{Av} dv ds.
+    let n_mat = nested_gramian(plant.a(), &weights.q1, h)?;
+    let noise_part = (&n_mat * &weights.r1).trace();
+
+    let j = (sampled_part + noise_part) / h;
+    if !j.is_finite() || j < 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(j)
+}
+
+/// Sweeps [`lqg_cost`] over a period grid; the raw data behind Fig. 2.
+///
+/// # Errors
+///
+/// Propagates structural errors from [`lqg_cost`].
+pub fn cost_curve(
+    plant: &StateSpace,
+    weights: &LqgWeights,
+    periods: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    periods
+        .iter()
+        .map(|&h| Ok((h, lqg_cost(plant, weights, h)?)))
+        .collect()
+}
+
+/// Counts the strict local maxima in a cost curve: a non-zero count is the
+/// non-monotonicity the paper's Fig. 2 highlights.
+pub fn non_monotone_points(curve: &[(f64, f64)]) -> usize {
+    curve
+        .windows(3)
+        .filter(|w| {
+            let (a, b, c) = (w[0].1, w[1].1, w[2].1);
+            a.is_finite() && b.is_finite() && c.is_finite() && b > a && b > c
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plants;
+
+    #[test]
+    fn cost_finite_and_positive_for_servo() {
+        let plant = plants::dc_servo().unwrap();
+        let w = LqgWeights::output_regulation(&plant, 1e-4, 1e-6);
+        let j = lqg_cost(&plant, &w, 0.006).unwrap();
+        assert!(j.is_finite() && j > 0.0, "J = {j}");
+    }
+
+    #[test]
+    fn general_increasing_trend() {
+        // The paper's headline trend: longer periods => larger cost,
+        // compared far apart so local non-monotonicity cannot interfere.
+        let plant = plants::dc_servo().unwrap();
+        let w = LqgWeights::output_regulation(&plant, 1e-4, 1e-6);
+        let j_fast = lqg_cost(&plant, &w, 0.002).unwrap();
+        let j_slow = lqg_cost(&plant, &w, 0.05).unwrap();
+        assert!(
+            j_slow > j_fast,
+            "expected increasing trend: J(0.002)={j_fast}, J(0.05)={j_slow}"
+        );
+    }
+
+    #[test]
+    fn pathological_period_is_infinite() {
+        // Undamped oscillator at h = pi/w0: unreachable oscillation mode
+        // with persistent noise => infinite cost.
+        let w0 = 10.0;
+        let plant = plants::oscillator(w0, 0.0).unwrap();
+        let w = LqgWeights::output_regulation(&plant, 1e-2, 1e-6);
+        let h_path = std::f64::consts::PI / w0;
+        let j = lqg_cost(&plant, &w, h_path).unwrap();
+        assert!(j.is_infinite(), "expected infinite cost, got {j}");
+        let j_ok = lqg_cost(&plant, &w, h_path * 0.8).unwrap();
+        assert!(j_ok.is_finite());
+    }
+
+    #[test]
+    fn lightly_damped_oscillator_spikes_near_pathological_periods() {
+        // With small damping the cost stays finite but spikes near
+        // h = k pi / wd — the structure of Fig. 2.
+        let plant = plants::lightly_damped_oscillator().unwrap();
+        let w = LqgWeights::output_regulation(&plant, 1e-2, 1e-6);
+        let wd = 10.0 * (1.0f64 - 0.001f64 * 0.001).sqrt();
+        let h_spike = std::f64::consts::PI / wd;
+        let j_spike = lqg_cost(&plant, &w, h_spike).unwrap();
+        let j_before = lqg_cost(&plant, &w, h_spike * 0.6).unwrap();
+        assert!(
+            j_spike > 10.0 * j_before,
+            "no spike: J(spike)={j_spike}, J(before)={j_before}"
+        );
+    }
+
+    #[test]
+    fn curve_detects_non_monotonicity() {
+        let plant = plants::lightly_damped_oscillator().unwrap();
+        let w = LqgWeights::output_regulation(&plant, 1e-2, 1e-6);
+        let periods: Vec<f64> = (1..=120).map(|k| 0.01 + k as f64 * 0.008).collect();
+        let curve = cost_curve(&plant, &w, &periods).unwrap();
+        assert!(
+            non_monotone_points(&curve) > 0,
+            "expected at least one local maximum in the cost curve"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_validates_cost() {
+        // Simulate the sampled closed loop driven by white noise and
+        // compare the empirical stage cost to the analytical value.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let plant = plants::first_order_lag().unwrap();
+        let w = LqgWeights::output_regulation(&plant, 0.1, 1e-2);
+        let h = 0.05;
+        let j_analytic = lqg_cost(&plant, &w, h).unwrap();
+
+        let lqg = design_lqg(&plant, &w, h, 0.0).unwrap();
+        let phi = lqg.plant_d.a().clone();
+        let gamma = lqg.plant_d.b().clone();
+        let k = lqg.feedback_gain.clone();
+        let kf = lqg.kalman_gain.clone();
+        let c = plant.c().clone();
+
+        // Scalar plant: exact noise distribution is Gaussian with
+        // variance r1d; Box-Muller sampling.
+        let r1d = lqg.noise_d[(0, 0)];
+        let r2 = w.r2[(0, 0)];
+        let mut rng = StdRng::seed_from_u64(2017);
+        let normal = move |rng: &mut StdRng| -> f64 {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+
+        let steps = 400_000usize;
+        let burn = 2_000usize;
+        let mut x = 0.0f64;
+        let mut xh = 0.0f64;
+        let mut acc = 0.0f64;
+        let q1 = lqg.cost_d.q1[(0, 0)];
+        let q12 = lqg.cost_d.q12[(0, 0)];
+        let q2 = lqg.cost_d.q2[(0, 0)];
+        for step in 0..steps {
+            let u = -k[(0, 0)] * xh;
+            if step >= burn {
+                acc += q1 * x * x + 2.0 * q12 * x * u + q2 * u * u;
+            }
+            let wn = normal(&mut rng) * r1d.sqrt();
+            let vn = normal(&mut rng) * r2.sqrt();
+            let y = c[(0, 0)] * x + vn;
+            let innov = y - c[(0, 0)] * xh;
+            let x_next = phi[(0, 0)] * x + gamma[(0, 0)] * u + wn;
+            let xh_next = phi[(0, 0)] * xh + gamma[(0, 0)] * u + kf[(0, 0)] * innov;
+            x = x_next;
+            xh = xh_next;
+        }
+        let sampled_mc = acc / (steps - burn) as f64 / h;
+        // Add the analytical intersample term (not visible to a sampled
+        // simulation).
+        let n_mat = nested_gramian(plant.a(), &w.q1, h).unwrap();
+        let j_mc = sampled_mc + (&n_mat * &w.r1).trace() / h;
+        let rel = (j_mc - j_analytic).abs() / j_analytic;
+        assert!(
+            rel < 0.05,
+            "Monte Carlo {j_mc} vs analytic {j_analytic} (rel {rel})"
+        );
+    }
+}

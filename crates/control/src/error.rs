@@ -1,0 +1,75 @@
+//! Error type for the control substrate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned by control-design routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying linear-algebra routine failed.
+    Numerical(csa_linalg::Error),
+    /// The sampled system has no stabilizing controller (e.g. unreachable
+    /// unstable modes at a pathological sampling period).
+    NotStabilizable,
+    /// The model violates an assumption of the requested operation.
+    UnsupportedModel(&'static str),
+    /// A parameter was out of its valid range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Numerical(e) => write!(f, "numerical failure: {e}"),
+            Error::NotStabilizable => {
+                write!(f, "sampled system admits no stabilizing controller")
+            }
+            Error::UnsupportedModel(what) => write!(f, "unsupported model: {what}"),
+            Error::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<csa_linalg::Error> for Error {
+    fn from(e: csa_linalg::Error) -> Self {
+        Error::Numerical(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase() {
+        for e in [
+            Error::Numerical(csa_linalg::Error::Singular),
+            Error::NotStabilizable,
+            Error::UnsupportedModel("x"),
+            Error::InvalidParameter("y"),
+        ] {
+            let m = e.to_string();
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+
+    #[test]
+    fn source_is_propagated() {
+        let e = Error::from(csa_linalg::Error::Singular);
+        assert!(StdError::source(&e).is_some());
+        assert!(StdError::source(&Error::NotStabilizable).is_none());
+    }
+}

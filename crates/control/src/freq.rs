@@ -1,0 +1,143 @@
+//! Frequency responses of continuous and discrete systems.
+
+use crate::error::Result;
+use crate::ss::{DiscreteSs, StateSpace};
+use csa_linalg::{CMat, Cplx};
+
+/// Evaluates `G(s) = C (sI - A)^{-1} B + D` of a continuous system at
+/// `s = j*omega`.
+///
+/// Returns the full (outputs x inputs) complex response matrix.
+///
+/// # Errors
+///
+/// [`csa_linalg::Error::Singular`] (wrapped) if `j*omega` is an eigenvalue
+/// of `A` (a pole on the imaginary axis).
+///
+/// # Examples
+///
+/// ```
+/// use csa_control::{continuous_response, TransferFunction};
+///
+/// # fn main() -> Result<(), csa_control::Error> {
+/// let sys = TransferFunction::new(vec![1.0], vec![1.0, 1.0])?.to_state_space()?;
+/// let g = continuous_response(&sys, 1.0)?; // |1/(1+j)| = 1/sqrt(2)
+/// assert!((g[(0, 0)].abs() - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn continuous_response(sys: &StateSpace, omega: f64) -> Result<CMat> {
+    response_at(sys.a(), sys.b(), sys.c(), sys.d(), Cplx::new(0.0, omega))
+}
+
+/// Evaluates `G(z) = C (zI - A)^{-1} B + D` of a discrete system at
+/// `z = e^{j omega h}` where `h` is the system's sampling period.
+///
+/// # Errors
+///
+/// [`csa_linalg::Error::Singular`] (wrapped) if `z` is an eigenvalue of
+/// `A` (a pole on the unit circle at this frequency).
+///
+/// # Examples
+///
+/// ```
+/// use csa_control::{c2d_zoh, discrete_response, TransferFunction};
+///
+/// # fn main() -> Result<(), csa_control::Error> {
+/// let sys = TransferFunction::new(vec![1.0], vec![1.0, 1.0])?.to_state_space()?;
+/// let d = c2d_zoh(&sys, 0.01)?;
+/// // At low frequency the discrete response approaches the DC gain 1.
+/// let g = discrete_response(&d, 0.01)?;
+/// assert!((g[(0, 0)].abs() - 1.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn discrete_response(sys: &DiscreteSs, omega: f64) -> Result<CMat> {
+    let z = Cplx::from_angle(omega * sys.period());
+    response_at(sys.a(), sys.b(), sys.c(), sys.d(), z)
+}
+
+/// Evaluates `C (pI - A)^{-1} B + D` at an arbitrary complex point `p`.
+pub(crate) fn response_at(
+    a: &csa_linalg::Mat,
+    b: &csa_linalg::Mat,
+    c: &csa_linalg::Mat,
+    d: &csa_linalg::Mat,
+    p: Cplx,
+) -> Result<CMat> {
+    let n = a.rows();
+    let pi = &CMat::identity(n) * p;
+    let m = &pi - &CMat::from_real(a);
+    let x = m.solve(&CMat::from_real(b))?;
+    let g = &CMat::from_real(c) * &x;
+    Ok(&g + &CMat::from_real(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c2d::c2d_zoh;
+    use crate::ss::TransferFunction;
+
+    #[test]
+    fn first_order_lag_magnitude_and_phase() {
+        let sys = TransferFunction::new(vec![2.0], vec![1.0, 1.0])
+            .unwrap()
+            .to_state_space()
+            .unwrap();
+        // G(jw) = 2/(1+jw).
+        for &w in &[0.0, 0.5, 1.0, 10.0] {
+            let g = continuous_response(&sys, w).unwrap()[(0, 0)];
+            let expect = Cplx::from_re(2.0) / Cplx::new(1.0, w);
+            assert!((g - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discrete_response_of_known_system() {
+        // x+ = 0.5 x + u, y = x: G(z) = 1/(z - 0.5).
+        let d = DiscreteSs::new(
+            csa_linalg::Mat::scalar(0.5),
+            csa_linalg::Mat::scalar(1.0),
+            csa_linalg::Mat::scalar(1.0),
+            csa_linalg::Mat::scalar(0.0),
+            1.0,
+        )
+        .unwrap();
+        for &w in &[0.1, 1.0, 3.0] {
+            let z = Cplx::from_angle(w);
+            let g = discrete_response(&d, w).unwrap()[(0, 0)];
+            let expect = Cplx::ONE / (z - Cplx::from_re(0.5));
+            assert!((g - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zoh_response_matches_formula() {
+        // ZOH of 1/(s+1) at h: G(z) = (1-e^{-h})/(z - e^{-h}).
+        let sys = TransferFunction::new(vec![1.0], vec![1.0, 1.0])
+            .unwrap()
+            .to_state_space()
+            .unwrap();
+        let h = 0.2;
+        let d = c2d_zoh(&sys, h).unwrap();
+        let a = (-h).exp();
+        for &w in &[0.3, 2.0, std::f64::consts::PI / h] {
+            let z = Cplx::from_angle(w * h);
+            let g = discrete_response(&d, w).unwrap()[(0, 0)];
+            let expect = Cplx::from_re(1.0 - a) / (z - Cplx::from_re(a));
+            assert!((g - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pole_on_axis_is_singular() {
+        // Integrator: response at w = 0 does not exist.
+        let sys = TransferFunction::new(vec![1.0], vec![1.0, 0.0])
+            .unwrap()
+            .to_state_space()
+            .unwrap();
+        assert!(continuous_response(&sys, 0.0).is_err());
+        assert!(continuous_response(&sys, 1.0).is_ok());
+    }
+}

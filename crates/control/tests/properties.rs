@@ -1,0 +1,98 @@
+//! Property-based tests for the control substrate.
+
+use csa_control::{
+    c2d_zoh, c2d_zoh_delayed, design_lqg, discrete_response, jitter_margin, simulate,
+    LqgWeights, StateSpace, TransferFunction,
+};
+use csa_linalg::{spectral_radius, Mat};
+use proptest::prelude::*;
+
+/// Strategy: a stable-ish strictly proper second-order plant
+/// `k / (s^2 + b1 s + b0)` with positive coefficients.
+fn plant_strategy() -> impl Strategy<Value = StateSpace> {
+    (0.5f64..50.0, 0.2f64..6.0, 0.5f64..40.0).prop_map(|(k, b1, b0)| {
+        TransferFunction::new(vec![k], vec![1.0, b1, b0])
+            .expect("valid tf")
+            .to_state_space()
+            .expect("valid ss")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zoh_preserves_stability(plant in plant_strategy(), h in 0.005f64..0.2) {
+        // A Hurwitz-stable plant discretizes to a Schur-stable one.
+        let d = c2d_zoh(&plant, h).unwrap();
+        prop_assert!(spectral_radius(d.a()).unwrap() < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn delayed_zoh_matches_shifted_step(plant in plant_strategy(), h in 0.02f64..0.2, frac in 0.05f64..0.95) {
+        // Simulating the delayed discretization with a step input must
+        // match simulating the plain discretization of the same plant
+        // with the step arriving tau seconds later, once both have
+        // settled past the delay (sampled at common instants).
+        let tau = frac * h;
+        let dd = c2d_zoh_delayed(&plant, h, tau).unwrap();
+        let steps = 40usize;
+        let inputs: Vec<Mat> = (0..steps).map(|_| Mat::scalar(1.0)).collect();
+        let delayed = simulate(&dd, &Mat::zeros(dd.order(), 1), &inputs).unwrap();
+        // Reference: integrate the continuous system under the exactly
+        // shifted input using fine ZOH steps.
+        let fine = 200usize;
+        let dt = h / fine as f64;
+        let df = c2d_zoh(&plant, dt).unwrap();
+        let mut x = Mat::zeros(plant.order(), 1);
+        let mut reference = Vec::with_capacity(steps);
+        for k in 0..steps * fine {
+            let t = k as f64 * dt;
+            if k % fine == 0 {
+                reference.push((df.c() * &x)[(0, 0)]);
+            }
+            let u = if t + 0.5 * dt >= tau { 1.0 } else { 0.0 };
+            x = &(df.a() * &x) + &(df.b() * &Mat::scalar(u));
+        }
+        let scale = reference
+            .iter()
+            .fold(1e-6f64, |m, &v| m.max(v.abs()));
+        for k in 2..steps {
+            let got = delayed[k][(0, 0)];
+            prop_assert!(
+                (got - reference[k]).abs() < 2e-2 * scale,
+                "step {k}: delayed {got} vs reference {} (tau={tau}, h={h})",
+                reference[k]
+            );
+        }
+    }
+
+    #[test]
+    fn lqg_design_always_stabilizes_when_it_succeeds(plant in plant_strategy(), h in 0.01f64..0.1) {
+        let w = LqgWeights::output_regulation(&plant, 1e-2, 1e-5);
+        if let Ok(lqg) = design_lqg(&plant, &w, h, 0.0) {
+            let loop_sys = csa_control::input_sensitivity_loop(&lqg.plant_d, &lqg.controller).unwrap();
+            prop_assert!(spectral_radius(loop_sys.a()).unwrap() < 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_margin_is_nonnegative_and_bounded(plant in plant_strategy(), h in 0.01f64..0.08) {
+        let w = LqgWeights::output_regulation(&plant, 1e-2, 1e-5);
+        if let Ok(lqg) = design_lqg(&plant, &w, h, 0.0) {
+            let j = jitter_margin(&plant, &lqg.controller, h, 0.0).unwrap();
+            prop_assert!(j >= 0.0);
+            prop_assert!(j <= 20.0 * h + 1e-12, "margin {j} beyond cap");
+        }
+    }
+
+    #[test]
+    fn discrete_response_conjugate_symmetry(plant in plant_strategy(), h in 0.01f64..0.1, w_frac in 0.05f64..0.95) {
+        // G(e^{-jwh}) = conj(G(e^{jwh})) for real systems.
+        let d = c2d_zoh(&plant, h).unwrap();
+        let w = w_frac * std::f64::consts::PI / h;
+        let g_pos = discrete_response(&d, w).unwrap()[(0, 0)];
+        let g_neg = discrete_response(&d, -w).unwrap()[(0, 0)];
+        prop_assert!((g_pos.conj() - g_neg).abs() < 1e-10 * g_pos.abs().max(1.0));
+    }
+}

@@ -1,0 +1,252 @@
+//! Priority assignments and exact stability analysis of a control task set.
+
+use crate::stability::ControlTask;
+use csa_rta::{response_bounds, ResponseBounds, Task};
+use std::fmt;
+
+/// A complete priority assignment over a task set, stored as priority
+/// levels: `level[i]` is the priority of task `i`, with **larger values
+/// preempting smaller ones** (the paper's `rho_i > rho_j` convention,
+/// levels `1..=n`).
+///
+/// # Examples
+///
+/// ```
+/// use csa_core::PriorityAssignment;
+///
+/// // Task 2 highest, then task 0, then task 1.
+/// let pa = PriorityAssignment::from_highest_first(&[2, 0, 1]);
+/// assert_eq!(pa.level_of(2), 3);
+/// assert_eq!(pa.level_of(1), 1);
+/// assert_eq!(pa.highest_first(), vec![2, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PriorityAssignment {
+    levels: Vec<u32>,
+}
+
+impl PriorityAssignment {
+    /// Builds an assignment from task indices listed highest-priority
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn from_highest_first(order: &[usize]) -> PriorityAssignment {
+        let n = order.len();
+        let mut levels = vec![u32::MAX; n];
+        for (rank, &idx) in order.iter().enumerate() {
+            assert!(idx < n, "task index {idx} out of range");
+            assert!(levels[idx] == u32::MAX, "duplicate task index {idx}");
+            levels[idx] = (n - rank) as u32;
+        }
+        PriorityAssignment { levels }
+    }
+
+    /// Builds an assignment from task indices listed lowest-priority first
+    /// (the order the paper's Algorithm 1 produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn from_lowest_first(order: &[usize]) -> PriorityAssignment {
+        let reversed: Vec<usize> = order.iter().rev().copied().collect();
+        PriorityAssignment::from_highest_first(&reversed)
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` when the assignment covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Priority level of task `i` (1 = lowest).
+    pub fn level_of(&self, i: usize) -> u32 {
+        self.levels[i]
+    }
+
+    /// Task indices ordered from highest to lowest priority.
+    pub fn highest_first(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.levels.len()).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.levels[i]));
+        idx
+    }
+
+    /// Indices of tasks with higher priority than task `i`.
+    pub fn hp_indices(&self, i: usize) -> Vec<usize> {
+        (0..self.levels.len())
+            .filter(|&j| self.levels[j] > self.levels[i])
+            .collect()
+    }
+
+    /// Returns a copy with the priorities of tasks `i` and `j` swapped.
+    pub fn with_swapped(&self, i: usize, j: usize) -> PriorityAssignment {
+        let mut levels = self.levels.clone();
+        levels.swap(i, j);
+        PriorityAssignment { levels }
+    }
+}
+
+impl fmt::Display for PriorityAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (rank, idx) in self.highest_first().iter().enumerate() {
+            if rank > 0 {
+                write!(f, " > ")?;
+            }
+            write!(f, "tau_{idx}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Timing and stability verdict for one task under a given assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskVerdict {
+    /// Exact response-time bounds, `None` if the task is unschedulable
+    /// (misses its implicit deadline).
+    pub bounds: Option<ResponseBounds>,
+    /// Whether the plant is stable (`false` when unschedulable).
+    pub stable: bool,
+    /// Stability slack `b - L - aJ` in seconds (`-inf` when
+    /// unschedulable).
+    pub slack: f64,
+}
+
+/// Collects the higher-priority scheduling tasks of `i` under `hp_idx`.
+fn gather(tasks: &[ControlTask], hp_idx: &[usize]) -> Vec<Task> {
+    hp_idx.iter().map(|&j| *tasks[j].task()).collect()
+}
+
+/// Exact stability check of task `i` against an explicit higher-priority
+/// index set — the primitive every assignment algorithm calls
+/// (Eqs. 2–5).
+pub fn check_task(tasks: &[ControlTask], i: usize, hp_idx: &[usize]) -> TaskVerdict {
+    let hp = gather(tasks, hp_idx);
+    match response_bounds(tasks[i].task(), &hp) {
+        Some(rb) => TaskVerdict {
+            bounds: Some(rb),
+            stable: tasks[i].stable_with(&rb),
+            slack: tasks[i].bound().slack(rb.latency(), rb.jitter()),
+        },
+        None => TaskVerdict {
+            bounds: None,
+            stable: false,
+            slack: f64::NEG_INFINITY,
+        },
+    }
+}
+
+/// Analyzes every task of the set under a complete assignment.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != tasks.len()`.
+pub fn analyze(tasks: &[ControlTask], assignment: &PriorityAssignment) -> Vec<TaskVerdict> {
+    assert_eq!(tasks.len(), assignment.len(), "assignment size mismatch");
+    (0..tasks.len())
+        .map(|i| check_task(tasks, i, &assignment.hp_indices(i)))
+        .collect()
+}
+
+/// `true` when every plant in the set is stable under the assignment —
+/// the validity notion of the paper's Table I.
+pub fn is_valid_assignment(tasks: &[ControlTask], assignment: &PriorityAssignment) -> bool {
+    analyze(tasks, assignment).iter().all(|v| v.stable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stability::ControlTask;
+
+    fn three_tasks() -> Vec<ControlTask> {
+        vec![
+            ControlTask::from_parts(0, 1, 1, 4, 1.0, 1e-8).unwrap(),
+            ControlTask::from_parts(1, 2, 2, 6, 1.0, 1e-8).unwrap(),
+            ControlTask::from_parts(2, 3, 3, 10, 1.0, 1.2e-8).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn assignment_roundtrips() {
+        let pa = PriorityAssignment::from_highest_first(&[1, 2, 0]);
+        assert_eq!(pa.level_of(1), 3);
+        assert_eq!(pa.level_of(2), 2);
+        assert_eq!(pa.level_of(0), 1);
+        assert_eq!(pa.highest_first(), vec![1, 2, 0]);
+        assert_eq!(pa.hp_indices(0), vec![1, 2]);
+        assert_eq!(pa.hp_indices(1), Vec::<usize>::new());
+        let pa2 = PriorityAssignment::from_lowest_first(&[0, 2, 1]);
+        assert_eq!(pa2.highest_first(), vec![1, 2, 0]);
+        assert_eq!(pa, pa2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate task index")]
+    fn duplicate_indices_panic() {
+        let _ = PriorityAssignment::from_highest_first(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn swap_exchanges_levels() {
+        let pa = PriorityAssignment::from_highest_first(&[0, 1, 2]);
+        let sw = pa.with_swapped(0, 2);
+        assert_eq!(sw.highest_first(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn analyze_classic_set() {
+        // Rate-monotonic order on the classic (1,4),(2,6),(3,10) set:
+        // R_w = 1, 3, 10; R_b = c. Bounds chosen so all are stable.
+        let tasks = three_tasks();
+        let pa = PriorityAssignment::from_highest_first(&[0, 1, 2]);
+        let verdicts = analyze(&tasks, &pa);
+        assert_eq!(verdicts[0].bounds.unwrap().wcrt.get(), 1);
+        assert_eq!(verdicts[1].bounds.unwrap().wcrt.get(), 3);
+        assert_eq!(verdicts[2].bounds.unwrap().wcrt.get(), 10);
+        // tau_0: L=1ns J=0: 1e-9 <= 1e-8 stable.
+        assert!(verdicts[0].stable);
+        // tau_2: L=3ns, J=7ns: 3+7 = 10e-9 <= 12e-9 stable.
+        assert!(verdicts[2].stable);
+        assert!(is_valid_assignment(&tasks, &pa));
+    }
+
+    #[test]
+    fn invalid_when_bound_violated() {
+        let tasks = three_tasks();
+        // Give tau_2 the middle priority; tau_1 lowest with hp = {0, 2}:
+        // R_w(tau_1) = 2 + ceil(R/4)*1 + ceil(R/10)*3 -> fixed point 7,
+        // beyond its deadline 6: unschedulable, hence invalid.
+        let pa = PriorityAssignment::from_highest_first(&[0, 2, 1]);
+        let v = analyze(&tasks, &pa);
+        assert!(v[1].bounds.is_none());
+        assert!(!is_valid_assignment(&tasks, &pa));
+        // Put tau_0 lowest: R_w(tau_0) = 1 + 2 + 3 = 6 > 4 unschedulable.
+        let pa_bad = PriorityAssignment::from_highest_first(&[1, 2, 0]);
+        let v = analyze(&tasks, &pa_bad);
+        assert!(!v[0].stable);
+        assert!(v[0].bounds.is_none());
+        assert!(!is_valid_assignment(&tasks, &pa_bad));
+    }
+
+    #[test]
+    fn check_task_against_explicit_sets() {
+        let tasks = three_tasks();
+        let v_alone = check_task(&tasks, 2, &[]);
+        assert_eq!(v_alone.bounds.unwrap().wcrt.get(), 3);
+        let v_both = check_task(&tasks, 2, &[0, 1]);
+        assert_eq!(v_both.bounds.unwrap().wcrt.get(), 10);
+        assert!(v_both.slack <= v_alone.slack);
+    }
+
+    #[test]
+    fn display_shows_order() {
+        let pa = PriorityAssignment::from_highest_first(&[1, 0]);
+        assert_eq!(pa.to_string(), "[tau_1 > tau_0]");
+    }
+}

@@ -1,0 +1,612 @@
+//! Priority-assignment algorithms (the paper's §IV).
+//!
+//! Four algorithms over the same exact stability check:
+//!
+//! * [`backtracking`] — the paper's **Algorithm 1**: lowest-priority-first
+//!   assignment with backtracking. Complete (finds a valid assignment
+//!   whenever one exists) and sound (its output is always valid).
+//!   Worst-case exponential, quadratic on average because anomalies are
+//!   rare.
+//! * [`unsafe_quadratic`] — the paper's baseline ("the algorithm of [20]
+//!   modified to use the exact response times"): criticality ordering
+//!   from one worst-case analysis per task, trusting the monotonicity
+//!   certificate "stable under maximum interference implies stable under
+//!   less". Quadratic total analysis work. Under anomalies its output
+//!   can be **invalid** (Table I measures how often).
+//! * [`audsley_opa`] — strict Audsley/OPA: commits one task per level,
+//!   re-checking at every level. Sound by construction, but *incomplete*
+//!   under anomalies (may fail although a valid assignment exists).
+//! * [`exhaustive`] — tries every permutation; the ground truth for small
+//!   sets.
+
+use crate::analysis::{check_task, PriorityAssignment};
+use crate::stability::ControlTask;
+
+/// Instrumentation counters for an assignment run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssignmentStats {
+    /// Number of exact stability checks performed (the dominant cost).
+    pub checks: u64,
+    /// Number of backtracks (Algorithm 1 only; 0 for the others).
+    pub backtracks: u64,
+}
+
+/// Outcome of an assignment algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentOutcome {
+    /// The assignment, if the algorithm produced one. For
+    /// [`unsafe_quadratic`] a returned assignment is **not** guaranteed
+    /// valid — verify with [`crate::is_valid_assignment`].
+    pub assignment: Option<PriorityAssignment>,
+    /// Instrumentation counters.
+    pub stats: AssignmentStats,
+}
+
+/// Candidate iteration order inside [`backtracking`] (ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateOrder {
+    /// Try remaining tasks in input order (the paper's `for tau_i in S`).
+    #[default]
+    Input,
+    /// Try the task with the largest stability slack first — a greedy
+    /// heuristic that tends to reduce backtracking.
+    MaxSlackFirst,
+}
+
+/// The paper's **Algorithm 1**: backtracking priority assignment.
+///
+/// Recursively assigns the lowest remaining priority to any task that is
+/// stable with all other remaining tasks as higher priority; on a dead
+/// end it backtracks and tries the next candidate.
+///
+/// # Examples
+///
+/// ```
+/// use csa_core::{backtracking, is_valid_assignment, ControlTask};
+///
+/// # fn main() -> Result<(), csa_rta::InvalidTask> {
+/// let tasks = vec![
+///     ControlTask::from_parts(0, 1, 1, 4, 1.0, 1e-8)?,
+///     ControlTask::from_parts(1, 2, 2, 6, 1.0, 1e-8)?,
+///     ControlTask::from_parts(2, 3, 3, 10, 1.0, 1.2e-8)?,
+/// ];
+/// let out = backtracking(&tasks);
+/// let pa = out.assignment.expect("a valid assignment exists");
+/// assert!(is_valid_assignment(&tasks, &pa));
+/// # Ok(())
+/// # }
+/// ```
+pub fn backtracking(tasks: &[ControlTask]) -> AssignmentOutcome {
+    backtracking_with_order(tasks, CandidateOrder::Input)
+}
+
+/// [`backtracking`] with an explicit candidate order (see
+/// [`CandidateOrder`]).
+pub fn backtracking_with_order(tasks: &[ControlTask], order: CandidateOrder) -> AssignmentOutcome {
+    let (outcome, truncated) = backtracking_with_budget(tasks, order, u64::MAX);
+    debug_assert!(!truncated, "unbounded search cannot be truncated");
+    outcome
+}
+
+/// [`backtracking`] with a stability-check budget.
+///
+/// The paper's Algorithm 1 is exponential in the worst case (see the
+/// `worst_case` integration test for a constructed factorial blow-up);
+/// a deployment that must bound its design-time latency caps the number
+/// of exact stability checks. Returns the outcome plus a flag telling
+/// whether the search was cut short — a truncated `None` means
+/// "unknown", not "infeasible".
+///
+/// # Examples
+///
+/// ```
+/// use csa_core::{backtracking_with_budget, CandidateOrder, ControlTask};
+///
+/// # fn main() -> Result<(), csa_rta::InvalidTask> {
+/// let tasks = vec![
+///     ControlTask::from_parts(0, 1, 1, 4, 1.0, 1e-8)?,
+///     ControlTask::from_parts(1, 2, 2, 6, 1.0, 1e-8)?,
+/// ];
+/// let (outcome, truncated) =
+///     backtracking_with_budget(&tasks, CandidateOrder::Input, 1_000);
+/// assert!(!truncated);
+/// assert!(outcome.assignment.is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn backtracking_with_budget(
+    tasks: &[ControlTask],
+    order: CandidateOrder,
+    max_checks: u64,
+) -> (AssignmentOutcome, bool) {
+    let n = tasks.len();
+    let mut stats = AssignmentStats::default();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
+    let mut truncated = false;
+    let found = backtrack_recurse_budgeted(
+        tasks,
+        order,
+        &mut remaining,
+        &mut bottom_up,
+        &mut stats,
+        max_checks,
+        &mut truncated,
+    );
+    (
+        AssignmentOutcome {
+            assignment: found.then(|| PriorityAssignment::from_lowest_first(&bottom_up)),
+            stats,
+        },
+        truncated,
+    )
+}
+
+fn backtrack_recurse_budgeted(
+    tasks: &[ControlTask],
+    order: CandidateOrder,
+    remaining: &mut Vec<usize>,
+    bottom_up: &mut Vec<usize>,
+    stats: &mut AssignmentStats,
+    max_checks: u64,
+    truncated: &mut bool,
+) -> bool {
+    if remaining.is_empty() {
+        return true;
+    }
+    if stats.checks >= max_checks {
+        *truncated = true;
+        return false;
+    }
+    // Determine the candidate evaluation order for this level.
+    let candidates: Vec<usize> = match order {
+        CandidateOrder::Input => {
+            let mut c = remaining.clone();
+            c.sort_unstable();
+            c
+        }
+        CandidateOrder::MaxSlackFirst => {
+            let mut scored: Vec<(f64, usize)> = remaining
+                .iter()
+                .map(|&cand| {
+                    let hp: Vec<usize> =
+                        remaining.iter().copied().filter(|&x| x != cand).collect();
+                    stats.checks += 1;
+                    (check_task(tasks, cand, &hp).slack, cand)
+                })
+                .collect();
+            scored.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+            scored
+                .into_iter()
+                .filter(|&(slack, _)| slack >= 0.0)
+                .map(|(_, cand)| cand)
+                .collect()
+        }
+    };
+    for cand in candidates {
+        if stats.checks >= max_checks {
+            *truncated = true;
+            return false;
+        }
+        let stable = match order {
+            CandidateOrder::Input => {
+                let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
+                stats.checks += 1;
+                check_task(tasks, cand, &hp).stable
+            }
+            // MaxSlackFirst pre-filtered to stable candidates.
+            CandidateOrder::MaxSlackFirst => true,
+        };
+        if stable {
+            let pos = remaining
+                .iter()
+                .position(|&x| x == cand)
+                .expect("candidate must be in the remaining set");
+            remaining.swap_remove(pos);
+            bottom_up.push(cand);
+            if backtrack_recurse_budgeted(
+                tasks, order, remaining, bottom_up, stats, max_checks, truncated,
+            ) {
+                return true;
+            }
+            if *truncated {
+                return false;
+            }
+            stats.backtracks += 1;
+            bottom_up.pop();
+            remaining.push(cand);
+        }
+    }
+    false
+}
+
+/// The paper's "Unsafe Quadratic" baseline: criticality ordering with
+/// worst-case certificates.
+///
+/// The design intuition it encodes is the one the paper quotes and then
+/// demolishes — *"a controller that is allocated more computing resource
+/// (such as higher priority) provides a better control quality"*:
+///
+/// 1. Every task is analyzed once under **maximum interference** (all
+///    other tasks as higher priority), giving its worst-case stability
+///    slack `b - L - aJ`. Total analysis work is quadratic in `n`.
+/// 2. Priorities are assigned by criticality: smallest slack highest —
+///    the plants most at risk get the most resource.
+/// 3. Tasks that were *unstable* under maximum interference needed the
+///    promotion, so they are re-verified at their final level; if one
+///    still fails, the heuristic gives up (`None`). If even the
+///    bottom-most (largest-slack) task was unstable, no task can take
+///    the lowest priority and the instance is genuinely infeasible.
+/// 4. Tasks that were *stable* under maximum interference carry a
+///    monotonicity certificate — "less interference can only help" — and
+///    are **not** re-verified. That skipped re-check is exactly where
+///    the paper's anomalies strike: removing interference can grow the
+///    jitter term `a*J` faster than it shrinks the latency, so a
+///    certificate can lie and the output can be **invalid**.
+///
+/// A returned assignment must therefore be verified with
+/// [`crate::is_valid_assignment`]; Table I counts how often verification
+/// fails.
+pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
+    let n = tasks.len();
+    let mut stats = AssignmentStats::default();
+    // Step 1: worst-case analysis of every task.
+    let verdicts: Vec<_> = (0..n)
+        .map(|i| {
+            let hp: Vec<usize> = (0..n).filter(|&x| x != i).collect();
+            stats.checks += 1;
+            check_task(tasks, i, &hp)
+        })
+        .collect();
+    // Step 2: sort by slack, largest slack to the bottom.
+    let mut bottom_up: Vec<usize> = (0..n).collect();
+    bottom_up.sort_by(|&x, &y| {
+        verdicts[y]
+            .slack
+            .partial_cmp(&verdicts[x].slack)
+            .expect("slacks are never NaN")
+            .then(x.cmp(&y))
+    });
+    // Step 3: the bottom task's worst-case check is exact (its final
+    // higher-priority set is all other tasks). If even the best
+    // candidate fails there, no assignment has a stable bottom task.
+    if !verdicts[bottom_up[0]].stable {
+        return AssignmentOutcome {
+            assignment: None,
+            stats,
+        };
+    }
+    let assignment = PriorityAssignment::from_lowest_first(&bottom_up);
+    // Step 3 continued: re-verify only the promoted-because-critical
+    // tasks; the rest keep their (anomaly-prone) certificates.
+    for &i in &bottom_up[1..] {
+        if !verdicts[i].stable {
+            stats.checks += 1;
+            if !check_task(tasks, i, &assignment.hp_indices(i)).stable {
+                return AssignmentOutcome {
+                    assignment: None,
+                    stats,
+                };
+            }
+        }
+    }
+    AssignmentOutcome {
+        assignment: Some(assignment),
+        stats,
+    }
+}
+
+/// Strict Audsley optimal priority assignment: one task per level,
+/// committed to the first candidate (input order) that passes the exact
+/// check at that level.
+///
+/// Sound by construction (each task is checked against exactly its final
+/// higher-priority set) but incomplete under anomalies: a dead end makes
+/// it give up where [`backtracking`] would recover.
+pub fn audsley_opa(tasks: &[ControlTask]) -> AssignmentOutcome {
+    let n = tasks.len();
+    let mut stats = AssignmentStats::default();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let mut committed = None;
+        for &cand in &remaining {
+            let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
+            stats.checks += 1;
+            if check_task(tasks, cand, &hp).stable {
+                committed = Some(cand);
+                break;
+            }
+        }
+        match committed {
+            Some(cand) => {
+                remaining.retain(|&x| x != cand);
+                bottom_up.push(cand);
+            }
+            None => {
+                return AssignmentOutcome {
+                    assignment: None,
+                    stats,
+                }
+            }
+        }
+    }
+    AssignmentOutcome {
+        assignment: Some(PriorityAssignment::from_lowest_first(&bottom_up)),
+        stats,
+    }
+}
+
+/// Maximum task count accepted by [`exhaustive`] (10! = 3.6M
+/// permutations).
+pub const EXHAUSTIVE_MAX_TASKS: usize = 10;
+
+/// Exhaustive search over all priority permutations; the ground truth.
+///
+/// Returns the first valid assignment in lexicographic order of
+/// highest-first task indices, or `None` if no permutation is valid.
+///
+/// # Panics
+///
+/// Panics if `tasks.len() > EXHAUSTIVE_MAX_TASKS`.
+pub fn exhaustive(tasks: &[ControlTask]) -> AssignmentOutcome {
+    let n = tasks.len();
+    assert!(
+        n <= EXHAUSTIVE_MAX_TASKS,
+        "exhaustive search is limited to {EXHAUSTIVE_MAX_TASKS} tasks"
+    );
+    let mut stats = AssignmentStats::default();
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let found = exhaustive_recurse(tasks, &mut perm, &mut used, &mut stats);
+    AssignmentOutcome {
+        assignment: found.map(|order| PriorityAssignment::from_highest_first(&order)),
+        stats,
+    }
+}
+
+/// Builds permutations highest-priority-first, pruning as soon as a placed
+/// task is unstable against the (final) set of tasks above it plus all
+/// unplaced tasks? No — a placed task's verdict depends only on tasks
+/// *above* it, which are exactly the prefix, so the check is final and
+/// pruning is exact.
+fn exhaustive_recurse(
+    tasks: &[ControlTask],
+    perm: &mut Vec<usize>,
+    used: &mut [bool],
+    stats: &mut AssignmentStats,
+) -> Option<Vec<usize>> {
+    let n = tasks.len();
+    if perm.len() == n {
+        return Some(perm.clone());
+    }
+    for cand in 0..n {
+        if used[cand] {
+            continue;
+        }
+        // The candidate occupies the next-lower level; its higher-priority
+        // set is exactly the current prefix — a final verdict.
+        stats.checks += 1;
+        if check_task(tasks, cand, perm).stable {
+            used[cand] = true;
+            perm.push(cand);
+            if let Some(found) = exhaustive_recurse(tasks, perm, used, stats) {
+                return Some(found);
+            }
+            perm.pop();
+            used[cand] = false;
+        }
+    }
+    None
+}
+
+/// Counts all valid priority assignments by exhaustive enumeration (for
+/// tests and the anomaly census on small sets).
+///
+/// # Panics
+///
+/// Panics if `tasks.len() > EXHAUSTIVE_MAX_TASKS`.
+pub fn count_valid_assignments(tasks: &[ControlTask]) -> u64 {
+    let n = tasks.len();
+    assert!(n <= EXHAUSTIVE_MAX_TASKS);
+    fn recurse(tasks: &[ControlTask], perm: &mut Vec<usize>, used: &mut [bool]) -> u64 {
+        let n = tasks.len();
+        if perm.len() == n {
+            return 1;
+        }
+        let mut total = 0;
+        for cand in 0..n {
+            if used[cand] {
+                continue;
+            }
+            if check_task(tasks, cand, perm).stable {
+                used[cand] = true;
+                perm.push(cand);
+                total += recurse(tasks, perm, used);
+                perm.pop();
+                used[cand] = false;
+            }
+        }
+        total
+    }
+    recurse(tasks, &mut Vec::new(), &mut vec![false; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_valid_assignment;
+
+    fn classic() -> Vec<ControlTask> {
+        vec![
+            ControlTask::from_parts(0, 1, 1, 4, 1.0, 1e-8).unwrap(),
+            ControlTask::from_parts(1, 2, 2, 6, 1.0, 1e-8).unwrap(),
+            ControlTask::from_parts(2, 3, 3, 10, 1.0, 1.2e-8).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn all_algorithms_solve_the_classic_set() {
+        let tasks = classic();
+        for out in [
+            backtracking(&tasks),
+            unsafe_quadratic(&tasks),
+            audsley_opa(&tasks),
+            exhaustive(&tasks),
+        ] {
+            let pa = out.assignment.expect("solvable set");
+            assert!(is_valid_assignment(&tasks, &pa));
+            assert!(out.stats.checks > 0);
+        }
+    }
+
+    #[test]
+    fn backtracking_matches_exhaustive_feasibility() {
+        // A set with *no* valid assignment: three tasks each requiring
+        // zero interference (tight bounds) but nonzero jitter from
+        // execution variation.
+        let tasks = vec![
+            ControlTask::from_parts(0, 1, 5, 10, 1.0, 6e-9).unwrap(),
+            ControlTask::from_parts(1, 1, 5, 10, 1.0, 6e-9).unwrap(),
+            ControlTask::from_parts(2, 1, 5, 10, 1.0, 5e-9).unwrap(),
+        ];
+        // Lowest-priority task sees hp interference pushing L+aJ over b.
+        let bt = backtracking(&tasks);
+        let ex = exhaustive(&tasks);
+        assert_eq!(bt.assignment.is_some(), ex.assignment.is_some());
+    }
+
+    #[test]
+    fn infeasible_set_detected_by_everyone() {
+        // Two tasks that each can only be stable at the highest priority:
+        // c in [1, 4] of period 8, bound allows J but no interference.
+        // At the lowest priority, R_w = 4 + 4 = 8, R_b = 1 => L + J = 8
+        // ticks > 5 ticks budget.
+        let tasks = vec![
+            ControlTask::from_parts(0, 1, 4, 8, 1.0, 5e-9).unwrap(),
+            ControlTask::from_parts(1, 1, 4, 8, 1.0, 5e-9).unwrap(),
+        ];
+        assert!(backtracking(&tasks).assignment.is_none());
+        assert!(unsafe_quadratic(&tasks).assignment.is_none());
+        assert!(audsley_opa(&tasks).assignment.is_none());
+        assert!(exhaustive(&tasks).assignment.is_none());
+        assert_eq!(count_valid_assignments(&tasks), 0);
+    }
+
+    #[test]
+    fn backtracking_output_is_always_valid_on_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut solved = 0;
+        for _ in 0..300 {
+            let n = rng.gen_range(2..6);
+            let tasks: Vec<ControlTask> = (0..n)
+                .map(|i| {
+                    let period = rng.gen_range(20..200u64);
+                    let cw = rng.gen_range(1..=period / 3);
+                    let cb = rng.gen_range(1..=cw);
+                    let a = 1.0 + rng.gen::<f64>() * 4.0;
+                    let b = rng.gen_range(0.2..2.5) * period as f64 * 1e-9;
+                    ControlTask::from_parts(i as u32, cb, cw, period, a, b).unwrap()
+                })
+                .collect();
+            let out = backtracking(&tasks);
+            if let Some(pa) = out.assignment {
+                assert!(
+                    is_valid_assignment(&tasks, &pa),
+                    "backtracking returned an invalid assignment"
+                );
+                solved += 1;
+            }
+            // Completeness vs ground truth.
+            let ex = exhaustive(&tasks);
+            assert_eq!(
+                backtracking(&tasks).assignment.is_some(),
+                ex.assignment.is_some(),
+                "backtracking and exhaustive disagree on feasibility"
+            );
+        }
+        assert!(solved > 50, "too few solvable sets ({solved}) to be meaningful");
+    }
+
+    #[test]
+    fn audsley_opa_output_is_always_valid() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..200 {
+            let n = rng.gen_range(2..6);
+            let tasks: Vec<ControlTask> = (0..n)
+                .map(|i| {
+                    let period = rng.gen_range(20..200u64);
+                    let cw = rng.gen_range(1..=period / 3);
+                    let cb = rng.gen_range(1..=cw);
+                    let a = 1.0 + rng.gen::<f64>() * 4.0;
+                    let b = rng.gen_range(0.2..2.5) * period as f64 * 1e-9;
+                    ControlTask::from_parts(i as u32, cb, cw, period, a, b).unwrap()
+                })
+                .collect();
+            if let Some(pa) = audsley_opa(&tasks).assignment {
+                assert!(is_valid_assignment(&tasks, &pa));
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_quadratic_check_count_is_quadratic() {
+        // On an easy set (everything passes round one) the unsafe
+        // algorithm performs exactly n checks; worst case n + (n-1) + ...
+        let tasks: Vec<ControlTask> = (0..8)
+            .map(|i| {
+                ControlTask::from_parts(i as u32, 1, 1, 1000 + i as u64, 1.0, 1.0).unwrap()
+            })
+            .collect();
+        let out = unsafe_quadratic(&tasks);
+        assert!(out.assignment.is_some());
+        assert_eq!(out.stats.checks, 8);
+        let max_checks = (8 * 9) / 2;
+        assert!(out.stats.checks <= max_checks as u64);
+    }
+
+    #[test]
+    fn slack_order_reduces_or_equals_backtracks() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut total_input = 0u64;
+        let mut total_slack = 0u64;
+        for _ in 0..100 {
+            let n = rng.gen_range(3..7);
+            let tasks: Vec<ControlTask> = (0..n)
+                .map(|i| {
+                    let period = rng.gen_range(20..100u64);
+                    let cw = rng.gen_range(1..=period / 2);
+                    let cb = rng.gen_range(1..=cw);
+                    let a = 1.0 + rng.gen::<f64>() * 2.0;
+                    let b = rng.gen_range(0.5..2.0) * period as f64 * 1e-9;
+                    ControlTask::from_parts(i as u32, cb, cw, period, a, b).unwrap()
+                })
+                .collect();
+            let a = backtracking_with_order(&tasks, CandidateOrder::Input);
+            let b = backtracking_with_order(&tasks, CandidateOrder::MaxSlackFirst);
+            assert_eq!(a.assignment.is_some(), b.assignment.is_some());
+            if let Some(pa) = b.assignment {
+                assert!(is_valid_assignment(&tasks, &pa));
+            }
+            total_input += a.stats.backtracks;
+            total_slack += b.stats.backtracks;
+        }
+        // The heuristic must not be wildly worse overall.
+        assert!(total_slack <= total_input + 50);
+    }
+
+    #[test]
+    fn exhaustive_respects_limit() {
+        let tasks: Vec<ControlTask> = (0..3)
+            .map(|i| ControlTask::from_parts(i, 1, 1, 100, 1.0, 1.0).unwrap())
+            .collect();
+        assert!(exhaustive(&tasks).assignment.is_some());
+        assert_eq!(count_valid_assignments(&tasks), 6); // all 3! work
+    }
+}

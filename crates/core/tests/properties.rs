@@ -1,0 +1,114 @@
+//! Property-based tests over the priority-assignment algorithms.
+//!
+//! The key relationships (paper §IV):
+//!
+//! * Algorithm 1 (backtracking) is *sound* (outputs are valid) and
+//!   *complete* (agrees with exhaustive search on feasibility).
+//! * Strict OPA is sound but may fail where backtracking succeeds —
+//!   never the other way around.
+//! * Unsafe Quadratic may output invalid assignments (that is Table I's
+//!   subject), but whenever it fails to output anything, backtracking
+//!   may still succeed; when backtracking fails, nobody may succeed
+//!   validly.
+
+use csa_core::{
+    audsley_opa, backtracking, count_valid_assignments, exhaustive, is_valid_assignment,
+    unsafe_quadratic, ControlTask,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small control task set with calibrated-ish bounds.
+fn task_set() -> impl Strategy<Value = Vec<ControlTask>> {
+    proptest::collection::vec(
+        (2u64..40, 2u64..8, 1u64..8, 1.0f64..5.0, 0.3f64..3.0),
+        2..6,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (period_base, util_div, best_div, a, b_scale))| {
+                let period = period_base * 4;
+                let cw = (period / util_div).max(1);
+                let cb = (cw / best_div).max(1);
+                let b = b_scale * period as f64 * 1e-9;
+                ControlTask::from_parts(i as u32, cb, cw, period, a, b).unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn backtracking_sound_and_complete(tasks in task_set()) {
+        let bt = backtracking(&tasks);
+        let ex = exhaustive(&tasks);
+        prop_assert_eq!(bt.assignment.is_some(), ex.assignment.is_some(),
+            "backtracking and exhaustive disagree on feasibility");
+        if let Some(pa) = bt.assignment {
+            prop_assert!(is_valid_assignment(&tasks, &pa));
+        }
+        if let Some(pa) = ex.assignment {
+            prop_assert!(is_valid_assignment(&tasks, &pa));
+        }
+        // Feasibility agrees with the valid-assignment count.
+        let count = count_valid_assignments(&tasks);
+        prop_assert_eq!(count > 0, backtracking(&tasks).assignment.is_some());
+    }
+
+    #[test]
+    fn opa_success_implies_backtracking_success(tasks in task_set()) {
+        let opa = audsley_opa(&tasks);
+        if let Some(pa) = opa.assignment {
+            // OPA output is always valid...
+            prop_assert!(is_valid_assignment(&tasks, &pa));
+            // ...and backtracking, being complete, must also succeed.
+            prop_assert!(backtracking(&tasks).assignment.is_some());
+        }
+    }
+
+    #[test]
+    fn unsafe_quadratic_failure_is_honest(tasks in task_set()) {
+        let uq = unsafe_quadratic(&tasks);
+        match uq.assignment {
+            Some(_) => {
+                // May be invalid — that is the paper's Table I. No
+                // assertion on validity here.
+            }
+            None => {
+                // If the *first* round already passes nobody (exactly n
+                // checks performed), the bottom level cannot be filled in
+                // any assignment: genuinely infeasible. Later-round
+                // failures carry no such guarantee (the batch commitment
+                // may simply have painted the algorithm into a corner).
+                if uq.stats.checks == tasks.len() as u64 {
+                    prop_assert!(exhaustive(&tasks).assignment.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_counts_are_polynomial_for_quadratic_algorithms(tasks in task_set()) {
+        let n = tasks.len() as u64;
+        let uq = unsafe_quadratic(&tasks);
+        let opa = audsley_opa(&tasks);
+        prop_assert!(uq.stats.checks <= n * (n + 1) / 2);
+        prop_assert!(opa.stats.checks <= n * (n + 1) / 2);
+        prop_assert_eq!(uq.stats.backtracks, 0);
+        prop_assert_eq!(opa.stats.backtracks, 0);
+    }
+
+    #[test]
+    fn valid_assignments_survive_reanalysis(tasks in task_set()) {
+        // analyze/is_valid_assignment must be deterministic and
+        // consistent with the per-level checks used inside the solvers.
+        if let Some(pa) = backtracking(&tasks).assignment {
+            for _ in 0..3 {
+                prop_assert!(is_valid_assignment(&tasks, &pa));
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Runs every experiment in sequence (Table I, Figs. 2/4/5, census).
+//! Pass `--quick` for reduced scales everywhere.
+
+use csa_experiments::{
+    format_census, format_table1, quick_flag, run_census, run_fig2, run_fig4, run_fig5,
+    run_table1, CensusConfig, Fig2Config, Fig4Config, Fig5Config, Table1Config,
+};
+
+fn main() {
+    let quick = quick_flag();
+    eprintln!(
+        "running all experiments ({} scale)",
+        if quick { "quick" } else { "paper" }
+    );
+
+    let fig4 = run_fig4(&if quick { Fig4Config::quick() } else { Fig4Config::paper() });
+    println!("== Fig. 4: stability curves ==");
+    for c in &fig4 {
+        println!(
+            "  h = {:.0} ms: b = {:.3} ms, a = {:.3}",
+            c.period * 1e3,
+            c.fit.b * 1e3,
+            c.fit.a
+        );
+    }
+
+    let fig2 = run_fig2(&if quick { Fig2Config::quick() } else { Fig2Config::paper() });
+    println!("== Fig. 2: cost vs. period ==");
+    for c in &fig2 {
+        println!(
+            "  {}: {} local maxima, increasing trend {}, range {:.1e}",
+            c.plant,
+            c.non_monotone_points(),
+            c.has_increasing_trend(),
+            c.dynamic_range()
+        );
+    }
+
+    let t1 = run_table1(&if quick { Table1Config::quick() } else { Table1Config::paper() });
+    println!("== Table I ==");
+    println!("{}", format_table1(&t1));
+
+    let fig5 = run_fig5(&if quick { Fig5Config::quick() } else { Fig5Config::paper() });
+    println!("== Fig. 5: runtime ==");
+    for p in &fig5 {
+        println!(
+            "  n = {:>2}: backtracking {:.1} us, unsafe quadratic {:.1} us",
+            p.n,
+            p.backtracking_secs * 1e6,
+            p.unsafe_quadratic_secs * 1e6
+        );
+    }
+
+    let census = run_census(&if quick { CensusConfig::quick() } else { CensusConfig::paper() });
+    println!("== Census ==");
+    println!("{}", format_census(&census));
+}

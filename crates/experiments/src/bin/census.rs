@@ -1,0 +1,37 @@
+//! Anomaly-rarity census (supports the paper's §IV/§V argument). Pass
+//! `--quick` for a reduced run.
+
+use csa_experiments::{format_census, quick_flag, run_census, write_csv, CensusConfig};
+
+fn main() -> std::io::Result<()> {
+    let config = if quick_flag() {
+        CensusConfig::quick()
+    } else {
+        CensusConfig::paper()
+    };
+    eprintln!(
+        "census: {} benchmarks per n over n = {:?}",
+        config.benchmarks, config.task_counts
+    );
+    let rows = run_census(&config);
+    println!("{}", format_census(&rows));
+    let path = write_csv(
+        "census.csv",
+        "n,benchmarks,solvable,interference_anomalies,priority_raise_anomalies,opa_incomplete,unsafe_invalid,certificate_lies",
+        rows.iter().map(|r| {
+            format!(
+                "{},{},{},{},{},{},{},{}",
+                r.n,
+                r.benchmarks,
+                r.solvable,
+                r.interference_anomalies,
+                r.priority_raise_anomalies,
+                r.opa_incomplete,
+                r.unsafe_invalid,
+                r.certificate_lies
+            )
+        }),
+    )?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Regenerates the paper's Fig. 2 (cost vs. sampling period). Pass
+//! `--quick` for a reduced sweep.
+
+use csa_experiments::{quick_flag, run_fig2, write_csv, Fig2Config};
+
+fn main() -> std::io::Result<()> {
+    let config = if quick_flag() {
+        Fig2Config::quick()
+    } else {
+        Fig2Config::paper()
+    };
+    eprintln!(
+        "fig2: sweeping h in [{}, {}] s with {} points",
+        config.h_min, config.h_max, config.points
+    );
+    let curves = run_fig2(&config);
+    for c in &curves {
+        println!(
+            "{}: {} local maxima, increasing trend: {}, dynamic range: {:.2e}",
+            c.plant,
+            c.non_monotone_points(),
+            c.has_increasing_trend(),
+            c.dynamic_range()
+        );
+        let path = write_csv(
+            &format!("fig2_{}.csv", c.plant),
+            "period_s,cost",
+            c.samples
+                .iter()
+                .map(|(h, j)| format!("{h:.6},{j:.6e}")),
+        )?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Regenerates the paper's Fig. 5 (assignment runtime vs. task count).
+//! Pass `--quick` for a reduced run.
+
+use csa_experiments::{empirical_order, quick_flag, run_fig5, write_csv, Fig5Config};
+
+fn main() -> std::io::Result<()> {
+    let config = if quick_flag() {
+        Fig5Config::quick()
+    } else {
+        Fig5Config::paper()
+    };
+    eprintln!(
+        "fig5: {} benchmarks per n over n = {:?}",
+        config.benchmarks, config.task_counts
+    );
+    let points = run_fig5(&config);
+    println!(
+        "{:>4} {:>16} {:>16} {:>12} {:>12} {:>10}",
+        "n", "backtrack(us)", "unsafe_quad(us)", "bt checks", "uq checks", "backtracks"
+    );
+    for p in &points {
+        println!(
+            "{:>4} {:>16.2} {:>16.2} {:>12.1} {:>12.1} {:>10.3}",
+            p.n,
+            p.backtracking_secs * 1e6,
+            p.unsafe_quadratic_secs * 1e6,
+            p.backtracking_checks,
+            p.unsafe_quadratic_checks,
+            p.backtracks
+        );
+    }
+    let bt_order = empirical_order(
+        &points
+            .iter()
+            .map(|p| (p.n as f64, p.backtracking_checks))
+            .collect::<Vec<_>>(),
+    );
+    let uq_order = empirical_order(
+        &points
+            .iter()
+            .map(|p| (p.n as f64, p.unsafe_quadratic_checks))
+            .collect::<Vec<_>>(),
+    );
+    println!("empirical check-count order: backtracking n^{bt_order:.2}, unsafe n^{uq_order:.2}");
+    let path = write_csv(
+        "fig5.csv",
+        "n,backtracking_us,unsafe_quadratic_us,backtracking_checks,unsafe_checks,backtracks",
+        points.iter().map(|p| {
+            format!(
+                "{},{:.3},{:.3},{:.2},{:.2},{:.4}",
+                p.n,
+                p.backtracking_secs * 1e6,
+                p.unsafe_quadratic_secs * 1e6,
+                p.backtracking_checks,
+                p.unsafe_quadratic_checks,
+                p.backtracks
+            )
+        }),
+    )?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's Table I. Pass `--quick` for a reduced run.
+
+use csa_experiments::{format_table1, quick_flag, run_table1, write_csv, Table1Config};
+
+fn main() -> std::io::Result<()> {
+    let config = if quick_flag() {
+        Table1Config::quick()
+    } else {
+        Table1Config::paper()
+    };
+    eprintln!(
+        "table1: {} benchmarks per n over n = {:?} (seed {})",
+        config.benchmarks, config.task_counts, config.seed
+    );
+    let rows = run_table1(&config);
+    println!("{}", format_table1(&rows));
+    let path = write_csv(
+        "table1.csv",
+        "n,benchmarks,invalid,no_solution,backtracking_solved,invalid_pct",
+        rows.iter().map(|r| {
+            format!(
+                "{},{},{},{},{},{:.4}",
+                r.n,
+                r.benchmarks,
+                r.invalid,
+                r.no_solution,
+                r.backtracking_solved,
+                r.invalid_pct()
+            )
+        }),
+    )?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

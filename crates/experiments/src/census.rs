@@ -1,0 +1,234 @@
+//! Anomaly census: how rare are the anomalies, really?
+//!
+//! The paper argues (§IV–V) that anomalies occur "extremely rarely" and
+//! that design methodology should exploit the common case. This harness
+//! quantifies that claim directly on the benchmark distribution:
+//!
+//! * how many benchmarks contain an interference-removal anomaly under
+//!   the assignment Algorithm 1 produces;
+//! * how many contain a priority-raise anomaly;
+//! * how often strict Audsley OPA fails although backtracking succeeds
+//!   (anomaly-caused incompleteness);
+//! * how often Unsafe Quadratic emits an invalid assignment (Table I's
+//!   quantity, re-measured here per benchmark).
+
+use crate::benchgen::{generate_benchmark, BenchmarkConfig};
+use csa_core::{
+    audsley_opa, backtracking, check_task, find_interference_removal_anomaly,
+    find_priority_raise_anomaly, is_valid_assignment, unsafe_quadratic, verify_witness,
+    ControlTask,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the anomaly census.
+#[derive(Debug, Clone)]
+pub struct CensusConfig {
+    /// Task counts to examine.
+    pub task_counts: Vec<usize>,
+    /// Benchmarks per task count.
+    pub benchmarks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CensusConfig {
+    /// Default census: n in {4, 8, 12, 16, 20}, 20 000 benchmarks each —
+    /// enough samples to resolve per-mille anomaly rates.
+    pub fn paper() -> Self {
+        CensusConfig {
+            task_counts: vec![4, 8, 12, 16, 20],
+            benchmarks: 20_000,
+            seed: 77,
+        }
+    }
+
+    /// Reduced census for smoke tests.
+    pub fn quick() -> Self {
+        CensusConfig {
+            task_counts: vec![4, 8],
+            benchmarks: 300,
+            seed: 77,
+        }
+    }
+}
+
+/// Census counts at one task count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CensusRow {
+    /// Number of tasks.
+    pub n: usize,
+    /// Benchmarks examined.
+    pub benchmarks: usize,
+    /// Benchmarks where backtracking found a valid assignment.
+    pub solvable: usize,
+    /// Solvable benchmarks containing an interference-removal anomaly.
+    pub interference_anomalies: usize,
+    /// Solvable benchmarks containing a priority-raise anomaly.
+    pub priority_raise_anomalies: usize,
+    /// Benchmarks where OPA failed but backtracking succeeded.
+    pub opa_incomplete: usize,
+    /// Benchmarks where Unsafe Quadratic emitted an invalid assignment.
+    pub unsafe_invalid: usize,
+    /// Benchmarks containing a *certificate lie*: a task stable under
+    /// maximum interference that is destabilized by removing one other
+    /// task — the raw event behind the paper's Table I, independent of
+    /// any particular assignment heuristic's trajectory.
+    pub certificate_lies: usize,
+}
+
+/// Does the benchmark contain a task that is stable under maximum
+/// interference yet unstable after removing a single other task?
+fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
+    let n = tasks.len();
+    for i in 0..n {
+        let full: Vec<usize> = (0..n).filter(|&x| x != i).collect();
+        if !check_task(tasks, i, &full).stable {
+            continue;
+        }
+        for &j in &full {
+            let reduced: Vec<usize> = full.iter().copied().filter(|&x| x != j).collect();
+            if !check_task(tasks, i, &reduced).stable {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Runs the census.
+pub fn run_census(config: &CensusConfig) -> Vec<CensusRow> {
+    config
+        .task_counts
+        .iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ ((n as u64) << 40));
+            let bench_cfg = BenchmarkConfig::new(n);
+            let mut row = CensusRow {
+                n,
+                benchmarks: config.benchmarks,
+                solvable: 0,
+                interference_anomalies: 0,
+                priority_raise_anomalies: 0,
+                opa_incomplete: 0,
+                unsafe_invalid: 0,
+                certificate_lies: 0,
+            };
+            for _ in 0..config.benchmarks {
+                let tasks = generate_benchmark(&bench_cfg, &mut rng);
+                if has_certificate_lie(&tasks) {
+                    row.certificate_lies += 1;
+                }
+                let bt = backtracking(&tasks);
+                if let Some(pa) = &bt.assignment {
+                    row.solvable += 1;
+                    if let Some(w) = find_interference_removal_anomaly(&tasks, pa) {
+                        debug_assert!(verify_witness(&tasks, pa, &w));
+                        row.interference_anomalies += 1;
+                    }
+                    if find_priority_raise_anomaly(&tasks, pa).is_some() {
+                        row.priority_raise_anomalies += 1;
+                    }
+                    if audsley_opa(&tasks).assignment.is_none() {
+                        row.opa_incomplete += 1;
+                    }
+                }
+                if let Some(pa) = unsafe_quadratic(&tasks).assignment {
+                    if !is_valid_assignment(&tasks, &pa) {
+                        row.unsafe_invalid += 1;
+                    }
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Formats the census as a readable table.
+pub fn format_census(rows: &[CensusRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Anomaly census (rates in % of solvable benchmarks unless noted)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>10} {:>10} {:>14} {:>14} {:>12} {:>14} {:>14}",
+        "n",
+        "bench",
+        "solvable",
+        "interf.anom",
+        "prio.anom",
+        "opa.fail",
+        "unsafe.invalid",
+        "cert.lies"
+    );
+    for r in rows {
+        let pct = |x: usize, base: usize| {
+            if base == 0 {
+                0.0
+            } else {
+                100.0 * x as f64 / base as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:>10} {:>10} {:>13.2}% {:>13.2}% {:>11.2}% {:>13.2}% {:>13.3}%",
+            r.n,
+            r.benchmarks,
+            r.solvable,
+            pct(r.interference_anomalies, r.solvable),
+            pct(r.priority_raise_anomalies, r.solvable),
+            pct(r.opa_incomplete, r.solvable),
+            pct(r.unsafe_invalid, r.benchmarks),
+            pct(r.certificate_lies, r.benchmarks),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts_are_consistent() {
+        let rows = run_census(&CensusConfig {
+            task_counts: vec![4],
+            benchmarks: 150,
+            seed: 5,
+        });
+        let r = &rows[0];
+        assert!(r.solvable <= r.benchmarks);
+        assert!(r.interference_anomalies <= r.solvable);
+        assert!(r.priority_raise_anomalies <= r.solvable);
+        assert!(r.opa_incomplete <= r.solvable);
+        // Anomalies must be rare — the paper's core empirical claim.
+        assert!(
+            r.interference_anomalies * 10 <= r.solvable.max(10),
+            "anomalies are not rare: {}/{}",
+            r.interference_anomalies,
+            r.solvable
+        );
+    }
+
+    #[test]
+    fn formatting_mentions_all_columns() {
+        let rows = vec![CensusRow {
+            n: 4,
+            benchmarks: 10,
+            solvable: 9,
+            interference_anomalies: 1,
+            priority_raise_anomalies: 0,
+            opa_incomplete: 0,
+            unsafe_invalid: 0,
+            certificate_lies: 1,
+        }];
+        let s = format_census(&rows);
+        assert!(s.contains("interf.anom"));
+        assert!(s.contains("cert.lies"));
+        assert!(s.contains("11.11%"));
+        assert!(s.contains("10.000%"));
+    }
+}

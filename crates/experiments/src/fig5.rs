@@ -1,0 +1,177 @@
+//! Fig. 5: execution time of the backtracking priority assignment
+//! (Algorithm 1) against the Unsafe Quadratic baseline, as a function of
+//! the number of tasks.
+//!
+//! Absolute times are Rust-scale (microseconds) rather than the paper's
+//! MATLAB-scale (seconds); the reproduced object is the *growth shape*
+//! (quadratic on average for both) and the closeness of the two
+//! algorithms (see EXPERIMENTS.md).
+
+use crate::benchgen::{generate_benchmark, BenchmarkConfig};
+use csa_core::{backtracking, unsafe_quadratic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Configuration for the Fig. 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Task counts to sweep.
+    pub task_counts: Vec<usize>,
+    /// Benchmarks per task count.
+    pub benchmarks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Fig5Config {
+    /// Paper-style sweep: n = 4, 6, ..., 20.
+    pub fn paper() -> Self {
+        Fig5Config {
+            task_counts: (2..=10).map(|k| 2 * k).collect(),
+            benchmarks: 2_000,
+            seed: 5,
+        }
+    }
+
+    /// Reduced sweep for smoke tests.
+    pub fn quick() -> Self {
+        Fig5Config {
+            task_counts: vec![4, 8, 12],
+            benchmarks: 100,
+            seed: 5,
+        }
+    }
+}
+
+/// Mean runtime and work counters at one task count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Point {
+    /// Number of tasks.
+    pub n: usize,
+    /// Mean wall-clock time of Algorithm 1 per benchmark (seconds).
+    pub backtracking_secs: f64,
+    /// Mean wall-clock time of Unsafe Quadratic per benchmark (seconds).
+    pub unsafe_quadratic_secs: f64,
+    /// Mean exact stability checks per benchmark, Algorithm 1.
+    pub backtracking_checks: f64,
+    /// Mean exact stability checks per benchmark, Unsafe Quadratic.
+    pub unsafe_quadratic_checks: f64,
+    /// Mean backtracks per benchmark (Algorithm 1).
+    pub backtracks: f64,
+}
+
+/// Runs the Fig. 5 experiment.
+pub fn run_fig5(config: &Fig5Config) -> Vec<Fig5Point> {
+    config
+        .task_counts
+        .iter()
+        .map(|&n| {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ ((n as u64) << 24));
+            let bench_cfg = BenchmarkConfig::new(n);
+            let benchmarks: Vec<_> = (0..config.benchmarks)
+                .map(|_| generate_benchmark(&bench_cfg, &mut rng))
+                .collect();
+
+            let mut bt_time = 0.0f64;
+            let mut uq_time = 0.0f64;
+            let mut bt_checks = 0u64;
+            let mut uq_checks = 0u64;
+            let mut bt_backs = 0u64;
+            for tasks in &benchmarks {
+                let t0 = Instant::now();
+                let bt = backtracking(tasks);
+                bt_time += t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let uq = unsafe_quadratic(tasks);
+                uq_time += t1.elapsed().as_secs_f64();
+                bt_checks += bt.stats.checks;
+                uq_checks += uq.stats.checks;
+                bt_backs += bt.stats.backtracks;
+            }
+            let k = config.benchmarks as f64;
+            Fig5Point {
+                n,
+                backtracking_secs: bt_time / k,
+                unsafe_quadratic_secs: uq_time / k,
+                backtracking_checks: bt_checks as f64 / k,
+                unsafe_quadratic_checks: uq_checks as f64 / k,
+                backtracks: bt_backs as f64 / k,
+            }
+        })
+        .collect()
+}
+
+/// Fits `checks ~ c * n^p` by log-log least squares and returns the
+/// exponent `p` — the empirical complexity order. The paper's claim is
+/// `p ~= 2` on average for both algorithms.
+pub fn empirical_order(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(n, y)| n > 0.0 && y > 0.0)
+        .map(|&(n, y)| (n.ln(), y.ln()))
+        .collect();
+    let k = pts.len() as f64;
+    if k < 2.0 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (k * sxy - sx * sy) / (k * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_grows_but_stays_tame() {
+        let pts = run_fig5(&Fig5Config {
+            task_counts: vec![4, 8, 12],
+            benchmarks: 60,
+            seed: 1,
+        });
+        assert_eq!(pts.len(), 3);
+        // Work grows with n.
+        assert!(pts[2].backtracking_checks > pts[0].backtracking_checks);
+        assert!(pts[2].unsafe_quadratic_checks > pts[0].unsafe_quadratic_checks);
+        // Check counts stay polynomial: far below exponential blowup.
+        for p in &pts {
+            let n = p.n as f64;
+            assert!(
+                p.backtracking_checks < 20.0 * n * n,
+                "n={}: {} checks looks super-quadratic",
+                p.n,
+                p.backtracking_checks
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_order_of_quadratic_data_is_two() {
+        let data: Vec<(f64, f64)> = (2..20).map(|n| (n as f64, 3.0 * (n * n) as f64)).collect();
+        let p = empirical_order(&data);
+        assert!((p - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_complexity_is_roughly_quadratic() {
+        // The paper's §V claim on Algorithm 1.
+        let pts = run_fig5(&Fig5Config {
+            task_counts: vec![4, 8, 12, 16],
+            benchmarks: 80,
+            seed: 3,
+        });
+        let data: Vec<(f64, f64)> = pts
+            .iter()
+            .map(|p| (p.n as f64, p.backtracking_checks))
+            .collect();
+        let order = empirical_order(&data);
+        assert!(
+            (0.8..3.2).contains(&order),
+            "empirical order {order} far from quadratic"
+        );
+    }
+}

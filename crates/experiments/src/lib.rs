@@ -1,0 +1,46 @@
+//! Experiment harnesses reproducing the evaluation section (§V) of the
+//! DATE 2017 anomalies paper.
+//!
+//! One module per table/figure, each with a paper-scale and a quick
+//! configuration, plus the benchmark generator and the pre-computed
+//! plant margin tables they share:
+//!
+//! * [`margin_tables`] — `(a, b)` stability coefficients per plant and
+//!   period (cached; the expensive control-theoretic step).
+//! * [`generate_benchmark`] — the §V benchmark distribution (UUniFast
+//!   utilizations, pool plants, grid periods).
+//! * [`run_table1`] — Table I: invalid-solution rate of Unsafe Quadratic.
+//! * [`run_fig2`] — Fig. 2: LQG cost vs. sampling period (trend,
+//!   non-monotonicity, pathological spikes).
+//! * [`run_fig4`] — Fig. 4: jitter-margin stability curves + Eq. 5 fits.
+//! * [`run_fig5`] — Fig. 5: runtime of Algorithm 1 vs. Unsafe Quadratic.
+//! * [`run_census`] — anomaly rarity census (supporting §IV's argument).
+//!
+//! The `table1`, `fig2`, `fig4`, `fig5`, `census` and `all` binaries wrap
+//! these with console tables and CSV output under `results/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod benchgen;
+mod census;
+mod fig2;
+mod fig4;
+mod fig5;
+mod margins;
+mod period_opt;
+mod report;
+mod table1;
+
+pub use benchgen::{generate_benchmark, BenchmarkConfig};
+pub use census::{format_census, run_census, CensusConfig, CensusRow};
+pub use fig2::{pathological_cost, run_fig2, CostCurve, Fig2Config};
+pub use fig4::{run_fig4, Fig4Config, Fig4Curve};
+pub use fig5::{empirical_order, run_fig5, Fig5Config, Fig5Point};
+pub use margins::{margin_tables, MarginEntry, PlantMargins};
+pub use period_opt::{
+    optimize_period_grid, optimize_period_ternary, run_period_opt, PeriodChoice,
+    PeriodOptComparison,
+};
+pub use report::{quick_flag, write_csv, RESULTS_DIR};
+pub use table1::{format_table1, run_table1, Table1Config, Table1Row};

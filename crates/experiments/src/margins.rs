@@ -1,0 +1,201 @@
+//! Pre-computed stability-margin tables for the benchmark plant pool.
+//!
+//! Computing a jitter-margin curve is the expensive step of benchmark
+//! generation (LQG design + delay-margin bisection + frequency sweeps).
+//! The paper's experiments draw thousands of benchmarks, so each plant's
+//! `(a, b)` coefficients are computed once on a per-plant period grid and
+//! cached for the whole process; generators then snap task periods to
+//! grid entries.
+
+use csa_control::{design_lqg, plants, stability_curve, StabilityFit};
+use std::sync::OnceLock;
+
+/// Number of grid periods per plant.
+const GRID_POINTS: usize = 10;
+/// Number of latency samples per stability curve.
+const CURVE_POINTS: usize = 15;
+
+/// Stability coefficients of one plant at one sampling period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginEntry {
+    /// Sampling period in seconds.
+    pub period: f64,
+    /// Jitter weight `a >= 1` of the fitted bound (Eq. 5).
+    pub a: f64,
+    /// Delay budget `b` in seconds of the fitted bound (Eq. 5).
+    pub b: f64,
+}
+
+/// The margin table of one benchmark plant.
+#[derive(Debug, Clone)]
+pub struct PlantMargins {
+    /// Plant name (matches `csa_control::plants::benchmark_pool`).
+    pub name: &'static str,
+    /// Grid entries ordered by increasing period. Periods at which no
+    /// stabilizing controller exists are absent.
+    pub entries: Vec<MarginEntry>,
+}
+
+static TABLES: OnceLock<Vec<PlantMargins>> = OnceLock::new();
+
+/// Round sampling periods used in practice (seconds), a 1-2-5-style
+/// engineering series from 1 ms to 100 ms.
+const PERIOD_SERIES: [f64; 14] = [
+    0.001, 0.002, 0.0025, 0.004, 0.005, 0.008, 0.010, 0.020, 0.025, 0.040, 0.050, 0.080, 0.100,
+    0.200,
+];
+
+/// Snaps a raw period to the nearest member of [`PERIOD_SERIES`] (in log
+/// distance).
+fn snap_to_series(h: f64) -> f64 {
+    *PERIOD_SERIES
+        .iter()
+        .min_by(|&&x, &&y| {
+            let dx = (x.ln() - h.ln()).abs();
+            let dy = (y.ln() - h.ln()).abs();
+            dx.partial_cmp(&dy).unwrap()
+        })
+        .expect("series is non-empty")
+}
+
+/// The margin tables of the full benchmark pool, computed on first use
+/// and cached for the process lifetime.
+///
+/// # Panics
+///
+/// Panics if the pool itself cannot be constructed (a programming error)
+/// or if *every* period of some plant fails to stabilize (would leave the
+/// generators without material).
+///
+/// # Examples
+///
+/// ```
+/// let tables = csa_experiments::margin_tables();
+/// assert!(!tables.is_empty());
+/// for t in tables {
+///     for e in &t.entries {
+///         assert!(e.a >= 1.0 && e.b > 0.0);
+///     }
+/// }
+/// ```
+pub fn margin_tables() -> &'static [PlantMargins] {
+    TABLES.get_or_init(|| {
+        let pool = plants::benchmark_pool().expect("benchmark pool must construct");
+        let mut tables = Vec::with_capacity(pool.len());
+        for bp in &pool {
+            let (lo, hi) = bp.period_range;
+            let mut entries = Vec::with_capacity(GRID_POINTS);
+            let mut seen = std::collections::BTreeSet::new();
+            for k in 0..GRID_POINTS {
+                let t = k as f64 / (GRID_POINTS - 1) as f64;
+                let h_raw = lo * (hi / lo).powf(t);
+                // Snap to the 1-2-5 engineering series: real deployments
+                // use round sampling periods, and the near-harmonic
+                // relations among them are precisely what lets
+                // response-time fixed-point cascades — and hence the
+                // paper's anomalies — occur at all.
+                let h = snap_to_series(h_raw);
+                if !seen.insert((h * 1e7) as u64) {
+                    continue;
+                }
+                match design_lqg(&bp.plant, &bp.weights, h, 0.0) {
+                    Ok(lqg) => {
+                        match stability_curve(&bp.plant, &lqg.controller, h, CURVE_POINTS) {
+                            Ok(curve) if curve.delay_margin() > 0.0 => {
+                                let fit = StabilityFit::from_curve(&curve);
+                                entries.push(MarginEntry {
+                                    period: h,
+                                    a: fit.a,
+                                    b: fit.b,
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                    Err(_) => {
+                        // Pathological or unstabilizable period: skip.
+                    }
+                }
+            }
+            assert!(
+                !entries.is_empty(),
+                "plant {} has no stabilizable grid period",
+                bp.name
+            );
+            tables.push(PlantMargins {
+                name: bp.name,
+                entries,
+            });
+        }
+        tables
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_periods_come_from_series() {
+        for t in margin_tables() {
+            for e in &t.entries {
+                assert!(
+                    super::PERIOD_SERIES.iter().any(|&s| (s - e.period).abs() < 1e-12),
+                    "{}: period {} not in the 1-2-5 series",
+                    t.name,
+                    e.period
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tables_cover_pool_and_satisfy_constraints() {
+        let tables = margin_tables();
+        assert_eq!(
+            tables.len(),
+            plants::benchmark_pool().unwrap().len(),
+            "one table per pool plant"
+        );
+        for t in tables {
+            assert!(!t.entries.is_empty(), "{} empty", t.name);
+            for e in &t.entries {
+                assert!(e.a >= 1.0, "{}: a = {}", t.name, e.a);
+                assert!(e.b > 0.0 && e.b.is_finite(), "{}: b = {}", t.name, e.b);
+                assert!(e.period > 0.0);
+            }
+            // Entries ordered by period.
+            for w in t.entries.windows(2) {
+                assert!(w[0].period < w[1].period);
+            }
+        }
+    }
+
+    #[test]
+    fn margins_are_binding_scale() {
+        // The generator needs constraints that can actually bind: for
+        // most plants b should be within a few periods.
+        let tables = margin_tables();
+        let mut binding = 0usize;
+        let mut total = 0usize;
+        for t in tables {
+            for e in &t.entries {
+                total += 1;
+                if e.b < 5.0 * e.period {
+                    binding += 1;
+                }
+            }
+        }
+        assert!(
+            binding * 2 >= total,
+            "only {binding}/{total} margin entries are within 5 periods"
+        );
+    }
+
+    #[test]
+    fn tables_are_cached() {
+        let a = margin_tables().as_ptr();
+        let b = margin_tables().as_ptr();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! Small CSV/report helpers shared by the experiment binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Default output directory for experiment artifacts (CSV files),
+/// relative to the working directory.
+pub const RESULTS_DIR: &str = "results";
+
+/// Writes a CSV file under [`RESULTS_DIR`], creating the directory if
+/// needed. Returns the full path.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv(
+    file_name: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = String>,
+) -> std::io::Result<PathBuf> {
+    let dir = Path::new(RESULTS_DIR);
+    fs::create_dir_all(dir)?;
+    let path = dir.join(file_name);
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{row}")?;
+    }
+    Ok(path)
+}
+
+/// Parses the conventional scale flag used by all experiment binaries:
+/// `--quick` selects a reduced benchmark count for smoke runs, anything
+/// else (or nothing) selects the paper-scale defaults.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = write_csv(
+            "test_report_roundtrip.csv",
+            "x,y",
+            ["1,2".to_string(), "3,4".to_string()],
+        )
+        .unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n3,4\n");
+        fs::remove_file(path).unwrap();
+    }
+}

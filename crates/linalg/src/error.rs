@@ -1,0 +1,100 @@
+//! Error type shared by all numerical routines in this crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned by fallible numerical routines.
+///
+/// # Examples
+///
+/// ```
+/// use csa_linalg::{Error, Mat};
+///
+/// let singular = Mat::zeros(2, 2);
+/// let err: Error = singular.inverse().unwrap_err();
+/// assert!(matches!(err, Error::Singular));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A matrix that must be invertible was (numerically) singular.
+    Singular,
+    /// An operation requiring a square matrix received a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Operand dimensions are incompatible.
+    DimensionMismatch {
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// An iterative solver did not converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The problem has no stabilizing/stable solution (e.g. a discrete
+    /// Lyapunov equation with a non-Schur-stable transition matrix, or a
+    /// Riccati equation for an unstabilizable pair).
+    NotStable,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Singular => write!(f, "matrix is singular to working precision"),
+            Error::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            Error::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} is incompatible with {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::NoConvergence { iterations } => {
+                write!(f, "iteration did not converge after {iterations} steps")
+            }
+            Error::NotStable => write!(f, "no stable solution exists for this problem"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let messages = [
+            Error::Singular.to_string(),
+            Error::NotSquare { rows: 2, cols: 3 }.to_string(),
+            Error::DimensionMismatch {
+                left: (2, 2),
+                right: (3, 3),
+            }
+            .to_string(),
+            Error::NoConvergence { iterations: 10 }.to_string(),
+            Error::NotStable.to_string(),
+        ];
+        for m in messages {
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+            assert!(!m.ends_with('.'), "{m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

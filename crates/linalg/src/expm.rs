@@ -1,0 +1,418 @@
+//! Matrix exponential and Van Loan block-exponential integrals.
+//!
+//! The matrix exponential uses the classic `[13/13]` Padé approximant with
+//! scaling and squaring (Higham 2005). The Van Loan helpers package the
+//! block-matrix exponentials used to discretize continuous-time dynamics,
+//! input integrals, quadratic costs, and noise covariances — the workhorses
+//! of sampled-data control.
+
+use crate::error::Result;
+use crate::mat::Mat;
+
+/// Padé 13 numerator coefficients (Higham 2005).
+const PADE13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// 1-norm threshold above which scaling is applied for Padé 13.
+const THETA13: f64 = 5.371920351148152;
+
+/// Matrix exponential `e^A` via Padé 13 with scaling and squaring.
+///
+/// # Errors
+///
+/// [`crate::Error::NotSquare`] for rectangular input, or
+/// [`crate::Error::Singular`] if the Padé denominator is singular (can only
+/// happen for non-finite input).
+///
+/// # Examples
+///
+/// ```
+/// use csa_linalg::{expm, Mat};
+///
+/// # fn main() -> Result<(), csa_linalg::Error> {
+/// let a = Mat::from_diag(&[0.0, 1.0]);
+/// let e = expm(&a)?;
+/// assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+/// assert!((e[(1, 1)] - 1.0f64.exp()).abs() < 1e-13);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Mat) -> Result<Mat> {
+    if !a.is_square() {
+        return Err(crate::Error::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let norm = a.norm_one();
+    let s = if norm > THETA13 {
+        (norm / THETA13).log2().ceil() as u32
+    } else {
+        0
+    };
+    let a_scaled = a.scale(0.5f64.powi(s as i32));
+
+    let ident = Mat::identity(n);
+    let a2 = &a_scaled * &a_scaled;
+    let a4 = &a2 * &a2;
+    let a6 = &a2 * &a4;
+
+    // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+    let w1 = &(&(&a6.scale(PADE13[13]) + &a4.scale(PADE13[11])) + &a2.scale(PADE13[9]));
+    let w2 = &(&(&(&a6 * w1) + &a6.scale(PADE13[7])) + &a4.scale(PADE13[5]));
+    let w = &(w2 + &a2.scale(PADE13[3])) + &ident.scale(PADE13[1]);
+    let u = &a_scaled * &w;
+
+    // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+    let z1 = &(&(&a6.scale(PADE13[12]) + &a4.scale(PADE13[10])) + &a2.scale(PADE13[8]));
+    let z2 = &(&(&a6 * z1) + &a6.scale(PADE13[6])) + &a4.scale(PADE13[4]);
+    let v = &(&z2 + &a2.scale(PADE13[2])) + &ident.scale(PADE13[0]);
+
+    // Solve (V - U) F = (V + U).
+    let mut f = (&v - &u).solve(&(&v + &u))?;
+    for _ in 0..s {
+        f = &f * &f;
+    }
+    Ok(f)
+}
+
+/// Result of discretizing `x' = A x + B u` with a zero-order hold over one
+/// period: `x_{k+1} = phi x_k + gamma u_k`.
+#[derive(Debug, Clone)]
+pub struct ZohPair {
+    /// State transition `e^{A h}`.
+    pub phi: Mat,
+    /// Input integral `int_0^h e^{A s} ds B`.
+    pub gamma: Mat,
+}
+
+/// Computes the zero-order-hold pair `(phi, gamma)` over horizon `h`.
+///
+/// Uses the augmented exponential `exp([[A, B], [0, 0]] h)` whose top blocks
+/// are exactly `phi` and `gamma` (Van Loan).
+///
+/// # Errors
+///
+/// Propagates [`expm`] errors; `a` must be `n x n` and `b` `n x m`.
+///
+/// # Examples
+///
+/// ```
+/// use csa_linalg::{zoh, Mat};
+///
+/// # fn main() -> Result<(), csa_linalg::Error> {
+/// // Integrator x' = u sampled at h: phi = 1, gamma = h.
+/// let p = zoh(&Mat::scalar(0.0), &Mat::scalar(1.0), 0.25)?;
+/// assert!((p.phi[(0, 0)] - 1.0).abs() < 1e-14);
+/// assert!((p.gamma[(0, 0)] - 0.25).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+pub fn zoh(a: &Mat, b: &Mat, h: f64) -> Result<ZohPair> {
+    assert_eq!(a.rows(), b.rows(), "A and B must have equal row counts");
+    let n = a.rows();
+    let m = b.cols();
+    let mut big = Mat::zeros(n + m, n + m);
+    big.set_block(0, 0, a);
+    big.set_block(0, n, b);
+    let e = expm(&big.scale(h))?;
+    Ok(ZohPair {
+        phi: e.block(0, 0, n, n),
+        gamma: e.block(0, n, n, m),
+    })
+}
+
+/// Computes `phi = e^{A h}` together with the weighted Gramian-style
+/// integral `qd = int_0^h e^{A^T s} Q e^{A s} ds` (Van Loan's method).
+///
+/// This single primitive discretizes quadratic costs (with `A` replaced by
+/// the `[A B; 0 0]` augmentation) and process-noise covariances (with `A`
+/// transposed).
+///
+/// # Errors
+///
+/// Propagates [`expm`] errors.
+///
+/// # Panics
+///
+/// Panics if `a`/`q` are not square matrices of equal dimension.
+///
+/// # Examples
+///
+/// ```
+/// use csa_linalg::{van_loan_gramian, Mat};
+///
+/// # fn main() -> Result<(), csa_linalg::Error> {
+/// // For A = 0: qd = Q * h.
+/// let (phi, qd) = van_loan_gramian(&Mat::scalar(0.0), &Mat::scalar(2.0), 0.5)?;
+/// assert!((phi[(0, 0)] - 1.0).abs() < 1e-14);
+/// assert!((qd[(0, 0)] - 1.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+pub fn van_loan_gramian(a: &Mat, q: &Mat, h: f64) -> Result<(Mat, Mat)> {
+    assert!(a.is_square() && q.is_square(), "A and Q must be square");
+    assert_eq!(a.rows(), q.rows(), "A and Q must have equal dimension");
+    let n = a.rows();
+    let mut big = Mat::zeros(2 * n, 2 * n);
+    big.set_block(0, 0, &-(&a.transpose()));
+    big.set_block(0, n, q);
+    big.set_block(n, n, a);
+    let e = expm(&big.scale(h))?;
+    let phi = e.block(n, n, n, n);
+    let g = e.block(0, n, n, n);
+    let mut qd = &phi.transpose() * &g;
+    qd.symmetrize();
+    Ok((phi, qd))
+}
+
+/// Discretized process-noise covariance
+/// `r1d = int_0^h e^{A s} R1 e^{A^T s} ds` for continuous white noise with
+/// intensity `r1` entering `x' = A x + w`.
+///
+/// # Errors
+///
+/// Propagates [`expm`] errors.
+pub fn noise_covariance(a: &Mat, r1: &Mat, h: f64) -> Result<Mat> {
+    let (_, r1d) = van_loan_gramian(&a.transpose(), r1, h)?;
+    Ok(r1d)
+}
+
+/// Nested Van Loan integral
+/// `N = int_0^h int_0^s e^{A^T v} Q e^{A v} dv ds`.
+///
+/// Used for the exact intersample process-noise contribution to a sampled
+/// quadratic cost: with noise intensity `R1`, that contribution over one
+/// period is `tr(N R1)`.
+///
+/// Implementation: the `(1, 3)` block of the exponential of the
+/// `3n x 3n` upper block-triangular matrix
+/// `[[-A^T, I, 0], [0, -A^T, Q], [0, 0, A]] h`, premultiplied by
+/// `e^{A^T h}` (Van Loan 1978).
+///
+/// # Errors
+///
+/// Propagates [`expm`] errors.
+///
+/// # Panics
+///
+/// Panics if `a`/`q` are not square matrices of equal dimension.
+pub fn nested_gramian(a: &Mat, q: &Mat, h: f64) -> Result<Mat> {
+    assert!(a.is_square() && q.is_square(), "A and Q must be square");
+    assert_eq!(a.rows(), q.rows(), "A and Q must have equal dimension");
+    let n = a.rows();
+    let at_neg = -(&a.transpose());
+    let mut big = Mat::zeros(3 * n, 3 * n);
+    big.set_block(0, 0, &at_neg);
+    big.set_block(0, n, &Mat::identity(n));
+    big.set_block(n, n, &at_neg);
+    big.set_block(n, 2 * n, q);
+    big.set_block(2 * n, 2 * n, a);
+    let e = expm(&big.scale(h))?;
+    let f3 = e.block(2 * n, 2 * n, n, n); // e^{A h}
+    let h1 = e.block(0, 2 * n, n, n);
+    Ok(&f3.transpose() * &h1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let e = expm(&Mat::zeros(3, 3)).unwrap();
+        assert!(e.max_abs_diff(&Mat::identity(3)) < 1e-15);
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let a = Mat::from_diag(&[1.0, -2.0, 0.5]);
+        let e = expm(&a).unwrap();
+        for (i, &d) in [1.0, -2.0, 0.5].iter().enumerate() {
+            assert!((e[(i, i)] - f64::exp(d)).abs() < 1e-12);
+        }
+        assert!((e[(0, 1)]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expm_nilpotent_closed_form() {
+        // A = [[0, 1], [0, 0]]: e^A = [[1, 1], [0, 1]].
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let e = expm(&a).unwrap();
+        assert!(e.max_abs_diff(&Mat::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]])) < 1e-14);
+    }
+
+    #[test]
+    fn expm_rotation_closed_form() {
+        // A = [[0, -t], [t, 0]]: e^A = rotation by t.
+        let t = 1.3;
+        let a = Mat::from_rows(&[&[0.0, -t], &[t, 0.0]]);
+        let e = expm(&a).unwrap();
+        let expect = Mat::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]);
+        assert!(e.max_abs_diff(&expect) < 1e-13);
+    }
+
+    #[test]
+    fn expm_inverse_property() {
+        let a = Mat::from_rows(&[&[0.2, 1.0, -0.3], &[0.0, -0.5, 0.7], &[0.4, 0.0, 0.1]]);
+        let e = expm(&a).unwrap();
+        let einv = expm(&a.scale(-1.0)).unwrap();
+        assert!((&e * &einv).max_abs_diff(&Mat::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn expm_large_norm_uses_scaling() {
+        // Norm far above theta13 exercises the squaring phase.
+        let a = Mat::from_rows(&[&[-30.0, 40.0], &[0.0, -50.0]]);
+        let e = expm(&a).unwrap();
+        // Closed form for triangular: diag e^{-30}, e^{-50};
+        // off-diag 40 (e^{-30} - e^{-50}) / (-30 + 50).
+        let e11 = (-30.0f64).exp();
+        let e22 = (-50.0f64).exp();
+        let e12 = 40.0 * (e11 - e22) / 20.0;
+        assert!((e[(0, 0)] - e11).abs() < 1e-18);
+        assert!((e[(1, 1)] - e22).abs() < 1e-25);
+        assert!((e[(0, 1)] - e12).abs() < 1e-17);
+    }
+
+    #[test]
+    fn expm_semigroup_property() {
+        let a = Mat::from_rows(&[&[0.1, 0.9], &[-0.4, -0.2]]);
+        let e1 = expm(&a).unwrap();
+        let e_half = expm(&a.scale(0.5)).unwrap();
+        assert!((&e_half * &e_half).max_abs_diff(&e1) < 1e-13);
+    }
+
+    #[test]
+    fn zoh_first_order_lag_closed_form() {
+        // x' = -x + u, h: phi = e^{-h}, gamma = 1 - e^{-h}.
+        let h = 0.7;
+        let p = zoh(&Mat::scalar(-1.0), &Mat::scalar(1.0), h).unwrap();
+        assert!((p.phi[(0, 0)] - (-h).exp()).abs() < 1e-14);
+        assert!((p.gamma[(0, 0)] - (1.0 - (-h).exp())).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zoh_double_integrator_closed_form() {
+        // x'' = u: phi = [[1, h], [0, 1]], gamma = [h^2/2, h].
+        let h = 0.3;
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let b = Mat::col_vec(&[0.0, 1.0]);
+        let p = zoh(&a, &b, h).unwrap();
+        assert!(p.phi.max_abs_diff(&Mat::from_rows(&[&[1.0, h], &[0.0, 1.0]])) < 1e-14);
+        assert!((p.gamma[(0, 0)] - h * h / 2.0).abs() < 1e-14);
+        assert!((p.gamma[(1, 0)] - h).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gramian_scalar_closed_form() {
+        // A = -a: int_0^h e^{-2 a s} q ds = q (1 - e^{-2 a h}) / (2 a).
+        let a = 1.5;
+        let q = 2.0;
+        let h = 0.9;
+        let (phi, qd) = van_loan_gramian(&Mat::scalar(-a), &Mat::scalar(q), h).unwrap();
+        assert!((phi[(0, 0)] - (-a * h).exp()).abs() < 1e-14);
+        let expect = q * (1.0 - (-2.0 * a * h).exp()) / (2.0 * a);
+        assert!((qd[(0, 0)] - expect).abs() < 1e-13);
+    }
+
+    #[test]
+    fn gramian_is_symmetric_psd_for_psd_weight() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[-2.0, -0.7]]);
+        let q = Mat::from_diag(&[1.0, 0.5]);
+        let (_, qd) = van_loan_gramian(&a, &q, 0.4).unwrap();
+        assert!((qd[(0, 1)] - qd[(1, 0)]).abs() < 1e-14);
+        // PSD: diagonal entries non-negative and det >= 0 for 2x2.
+        assert!(qd[(0, 0)] >= 0.0 && qd[(1, 1)] >= 0.0);
+        assert!(qd.det().unwrap() >= -1e-15);
+    }
+
+    #[test]
+    fn nested_gramian_zero_dynamics_closed_form() {
+        // A = 0: inner integral = Q s, outer = Q h^2 / 2.
+        let q = Mat::from_diag(&[2.0, 3.0]);
+        let n = nested_gramian(&Mat::zeros(2, 2), &q, 0.5).unwrap();
+        assert!(n.max_abs_diff(&q.scale(0.125)) < 1e-13);
+    }
+
+    #[test]
+    fn nested_gramian_scalar_closed_form() {
+        // A = -a: M(s) = q (1 - e^{-2as})/(2a);
+        // N = q/(2a) (h - (1 - e^{-2ah})/(2a)).
+        let a = 1.2;
+        let q = 0.7;
+        let h = 0.8;
+        let n = nested_gramian(&Mat::scalar(-a), &Mat::scalar(q), h).unwrap();
+        let expect = q / (2.0 * a) * (h - (1.0 - (-2.0 * a * h).exp()) / (2.0 * a));
+        assert!((n[(0, 0)] - expect).abs() < 1e-13);
+    }
+
+    #[test]
+    fn nested_gramian_matches_quadrature() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[-3.0, -0.5]]);
+        let q = Mat::from_diag(&[1.0, 0.2]);
+        let h = 0.6;
+        let n = nested_gramian(&a, &q, h).unwrap();
+        // Simpson over s of the inner Van Loan gramian.
+        let steps = 200;
+        let ds = h / steps as f64;
+        let mut acc = Mat::zeros(2, 2);
+        for k in 0..=steps {
+            let s = k as f64 * ds;
+            let (_, m) = van_loan_gramian(&a, &q, s.max(1e-12)).unwrap();
+            let w = if k == 0 || k == steps {
+                1.0
+            } else if k % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
+            acc = &acc + &m.scale(w);
+        }
+        let num = acc.scale(ds / 3.0);
+        assert!(n.max_abs_diff(&num) < 1e-7);
+    }
+
+    #[test]
+    fn noise_covariance_matches_quadrature() {
+        // Numerically integrate int_0^h e^{As} R e^{A's} ds and compare.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[-1.0, -0.4]]);
+        let r = Mat::from_diag(&[0.0, 1.0]);
+        let h = 0.5;
+        let r1d = noise_covariance(&a, &r, h).unwrap();
+        // Simpson quadrature with 200 intervals.
+        let n = 200;
+        let dt = h / n as f64;
+        let mut acc = Mat::zeros(2, 2);
+        for k in 0..=n {
+            let s = k as f64 * dt;
+            let e = expm(&a.scale(s)).unwrap();
+            let term = &(&e * &r) * &e.transpose();
+            let w = if k == 0 || k == n {
+                1.0
+            } else if k % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
+            acc = &acc + &term.scale(w);
+        }
+        let num = acc.scale(dt / 3.0);
+        assert!(r1d.max_abs_diff(&num) < 1e-8);
+    }
+}

@@ -1,0 +1,204 @@
+//! Householder QR decomposition and least squares.
+//!
+//! Used by the control substrate for Gramian factorizations and by the
+//! experiment harnesses for line fits; also a second, independent path to
+//! linear solving for cross-checking LU.
+
+use crate::error::{Error, Result};
+use crate::mat::Mat;
+
+/// Householder QR decomposition `A = Q R` of an `m x n` matrix with
+/// `m >= n`.
+///
+/// `Q` is `m x n` with orthonormal columns (thin form), `R` is `n x n`
+/// upper triangular.
+///
+/// # Examples
+///
+/// ```
+/// use csa_linalg::{qr, Mat};
+///
+/// # fn main() -> Result<(), csa_linalg::Error> {
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+/// let (q, r) = qr(&a)?;
+/// assert!((&q * &r).max_abs_diff(&a) < 1e-12);
+/// // Orthonormal columns.
+/// assert!((&q.transpose() * &q).max_abs_diff(&Mat::identity(2)) < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`Error::DimensionMismatch`] if `m < n`.
+pub fn qr(a: &Mat) -> Result<(Mat, Mat)> {
+    let m = a.rows();
+    let n = a.cols();
+    if m < n {
+        return Err(Error::DimensionMismatch {
+            left: (m, n),
+            right: (n, n),
+        });
+    }
+    // Accumulate R in-place and the Householder vectors.
+    let mut r_full = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut v: Vec<f64> = (k..m).map(|i| r_full[(i, k)]).collect();
+        let norm_x = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm_x == 0.0 {
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        let alpha = if v[0] >= 0.0 { -norm_x } else { norm_x };
+        v[0] -= alpha;
+        let vnorm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if vnorm > 0.0 {
+            for x in &mut v {
+                *x /= vnorm;
+            }
+            // Apply I - 2vv' to the trailing block.
+            for j in k..n {
+                let dot: f64 = (0..m - k).map(|i| v[i] * r_full[(k + i, j)]).sum();
+                for i in 0..m - k {
+                    r_full[(k + i, j)] -= 2.0 * v[i] * dot;
+                }
+            }
+        }
+        vs.push(v);
+    }
+    let mut r = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r[(i, j)] = r_full[(i, j)];
+        }
+    }
+    // Q = H_0 H_1 ... H_{n-1} applied to the first n columns of I.
+    let mut q = Mat::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for j in 0..n {
+            let dot: f64 = (0..m - k).map(|i| v[i] * q[(k + i, j)]).sum();
+            for i in 0..m - k {
+                q[(k + i, j)] -= 2.0 * v[i] * dot;
+            }
+        }
+    }
+    Ok((q, r))
+}
+
+/// Least-squares solution of `A x ~= b` via QR (minimizes `||Ax - b||_2`).
+///
+/// # Errors
+///
+/// [`Error::DimensionMismatch`] on shape problems, [`Error::Singular`] if
+/// `A` is rank deficient.
+///
+/// # Examples
+///
+/// ```
+/// use csa_linalg::{lstsq, Mat};
+///
+/// # fn main() -> Result<(), csa_linalg::Error> {
+/// // Fit y = c0 + c1 * t through three points.
+/// let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+/// let b = Mat::col_vec(&[1.0, 3.0, 5.0]);
+/// let x = lstsq(&a, &b)?;
+/// assert!((x[(0, 0)] - 1.0).abs() < 1e-12); // intercept
+/// assert!((x[(1, 0)] - 2.0).abs() < 1e-12); // slope
+/// # Ok(())
+/// # }
+/// ```
+pub fn lstsq(a: &Mat, b: &Mat) -> Result<Mat> {
+    if b.rows() != a.rows() {
+        return Err(Error::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (q, r) = qr(a)?;
+    let rhs = &q.transpose() * b;
+    // Back substitution on R x = Q' b.
+    let n = r.rows();
+    let scale = r.max_abs().max(1.0);
+    let mut x = rhs.clone();
+    for k in (0..n).rev() {
+        let d = r[(k, k)];
+        if d.abs() <= f64::EPSILON * scale * n as f64 {
+            return Err(Error::Singular);
+        }
+        for j in 0..x.cols() {
+            let mut acc = x[(k, j)];
+            for i in (k + 1)..n {
+                acc -= r[(k, i)] * x[(i, j)];
+            }
+            x[(k, j)] = acc / d;
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_and_is_orthonormal() {
+        let a = Mat::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, -2.0],
+            &[4.0, 0.0, 0.0],
+        ]);
+        let (q, r) = qr(&a).unwrap();
+        assert!((&q * &r).max_abs_diff(&a) < 1e-12);
+        assert!((&q.transpose() * &q).max_abs_diff(&Mat::identity(3)) < 1e-12);
+        // R upper triangular.
+        for i in 1..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_qr_solves_like_lu() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let b = Mat::col_vec(&[5.0, 7.0]);
+        let x_qr = lstsq(&a, &b).unwrap();
+        let x_lu = a.solve(&b).unwrap();
+        assert!(x_qr.max_abs_diff(&x_lu) < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_fit_minimizes_residual() {
+        // Noisy-ish line fit; the residual must be orthogonal to the
+        // column space (normal equations).
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = Mat::col_vec(&[0.1, 1.9, 4.1, 5.9]);
+        let x = lstsq(&a, &b).unwrap();
+        let resid = &(&a * &x) - &b;
+        let ortho = &a.transpose() * &resid;
+        assert!(ortho.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let b = Mat::col_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(lstsq(&a, &b), Err(Error::Singular));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(qr(&a), Err(Error::DimensionMismatch { .. })));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use csa_linalg::{
+    dare_residual, dlyap, dlyap_kron, dlyap_residual, eigenvalues, expm, solve_dare,
+    spectral_radius, van_loan_gramian, zoh, Cplx, Mat, StageCost,
+};
+use proptest::prelude::*;
+
+/// Strategy: a well-scaled n x n matrix with entries in [-limit, limit].
+fn mat_strategy(n: usize, limit: f64) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-limit..limit, n * n).prop_map(move |v| {
+        Mat::from_fn(n, n, |i, j| v[i * n + j])
+    })
+}
+
+/// Strategy: a symmetric PSD matrix built as M^T M (scaled down).
+fn psd_strategy(n: usize) -> impl Strategy<Value = Mat> {
+    mat_strategy(n, 1.0).prop_map(|m| {
+        let mut p = &m.transpose() * &m;
+        p.symmetrize();
+        p
+    })
+}
+
+/// Strategy: a Schur-stable matrix (scaled so spectral radius <= ~0.9).
+fn stable_strategy(n: usize) -> impl Strategy<Value = Mat> {
+    mat_strategy(n, 1.0).prop_filter_map("spectral radius must be computable", |m| {
+        let rho = spectral_radius(&m).ok()?;
+        if rho == 0.0 {
+            return Some(m.scale(0.0));
+        }
+        Some(m.scale(0.9 / rho.max(1e-6)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_residual_small(m in mat_strategy(4, 10.0), rhs in proptest::collection::vec(-10.0..10.0f64, 4)) {
+        // Skip near-singular systems: they legitimately error.
+        let b = Mat::col_vec(&rhs);
+        if let Ok(x) = m.solve(&b) {
+            let resid = (&(&m * &x) - &b).max_abs();
+            let scale = m.norm_inf().max(1.0) * x.max_abs().max(1.0);
+            prop_assert!(resid <= 1e-9 * scale, "residual {resid} too large (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided(m in mat_strategy(3, 5.0)) {
+        if let Ok(inv) = m.inverse() {
+            // Only check when conditioning is sane.
+            if inv.max_abs() < 1e6 {
+                prop_assert!((&m * &inv).max_abs_diff(&Mat::identity(3)) < 1e-7);
+                prop_assert!((&inv * &m).max_abs_diff(&Mat::identity(3)) < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalue_trace_and_pairing(m in mat_strategy(5, 3.0)) {
+        let eigs = eigenvalues(&m).unwrap();
+        let sum = eigs.iter().fold(Cplx::ZERO, |s, &l| s + l);
+        let scale = m.norm_inf().max(1.0);
+        prop_assert!((sum.re - m.trace()).abs() < 1e-8 * scale);
+        prop_assert!(sum.im.abs() < 1e-8 * scale, "imaginary parts must cancel");
+    }
+
+    #[test]
+    fn eigenvalues_similarity_invariant(m in mat_strategy(4, 2.0), shift in -3.0..3.0f64) {
+        // eig(M + shift*I) = eig(M) + shift.
+        let shifted = &m + &Mat::identity(4).scale(shift);
+        let mut e1: Vec<f64> = eigenvalues(&m).unwrap().iter().map(|l| l.re + shift).collect();
+        let mut e2: Vec<f64> = eigenvalues(&shifted).unwrap().iter().map(|l| l.re).collect();
+        e1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        e2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in e1.iter().zip(&e2) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn expm_product_inverse(m in mat_strategy(3, 2.0)) {
+        let e = expm(&m).unwrap();
+        let einv = expm(&m.scale(-1.0)).unwrap();
+        let prod = &e * &einv;
+        prop_assert!(prod.max_abs_diff(&Mat::identity(3)) < 1e-9 * e.norm_inf().max(1.0));
+    }
+
+    #[test]
+    fn expm_spectral_mapping(m in mat_strategy(3, 1.5)) {
+        // spectral_radius(e^M) = e^{max Re(lambda)}.
+        let eigs = eigenvalues(&m).unwrap();
+        let alpha = eigs.iter().fold(f64::NEG_INFINITY, |a, l| a.max(l.re));
+        let rho = spectral_radius(&expm(&m).unwrap()).unwrap();
+        prop_assert!((rho - alpha.exp()).abs() < 1e-7 * alpha.exp().max(1.0));
+    }
+
+    #[test]
+    fn zoh_composition(m in mat_strategy(2, 1.0), h in 0.01..0.5f64) {
+        // Two half-steps equal one full step for phi.
+        let b = Mat::col_vec(&[0.0, 1.0]);
+        let full = zoh(&m, &b, h).unwrap();
+        let half = zoh(&m, &b, h / 2.0).unwrap();
+        prop_assert!((&half.phi * &half.phi).max_abs_diff(&full.phi) < 1e-10);
+        // gamma_full = phi_half * gamma_half + gamma_half.
+        let expect = &(&half.phi * &half.gamma) + &half.gamma;
+        prop_assert!(expect.max_abs_diff(&full.gamma) < 1e-10);
+    }
+
+    #[test]
+    fn gramian_additivity(m in mat_strategy(2, 1.0), q in psd_strategy(2), h in 0.02..0.4f64) {
+        // Q(2h) = Q(h) + phi(h)' Q(h) phi(h) — Gramian over concatenated intervals.
+        let (phi_h, q_h) = van_loan_gramian(&m, &q, h).unwrap();
+        let (_, q_2h) = van_loan_gramian(&m, &q, 2.0 * h).unwrap();
+        let expect = &q_h + &(&(&phi_h.transpose() * &q_h) * &phi_h);
+        prop_assert!(expect.max_abs_diff(&q_2h) < 1e-9 * q_2h.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn dlyap_doubling_vs_kron(a in stable_strategy(3), q in psd_strategy(3)) {
+        let x1 = dlyap(&a, &q).unwrap();
+        let x2 = dlyap_kron(&a, &q).unwrap();
+        let scale = x1.max_abs().max(1.0);
+        prop_assert!(x1.max_abs_diff(&x2) < 1e-8 * scale);
+        prop_assert!(dlyap_residual(&a, &q, &x1) < 1e-9 * scale);
+    }
+
+    #[test]
+    fn dare_solution_stabilizes(a in mat_strategy(3, 1.2), q in psd_strategy(3)) {
+        let b = Mat::col_vec(&[0.0, 0.0, 1.0]);
+        let cost = StageCost::new(&q + &Mat::identity(3).scale(0.1), Mat::scalar(1.0));
+        match solve_dare(&a, &b, &cost) {
+            Ok(sol) => {
+                let acl = &a - &(&b * &sol.k);
+                prop_assert!(spectral_radius(&acl).unwrap() < 1.0 + 1e-9);
+                prop_assert!(
+                    dare_residual(&a, &b, &cost, &sol.s)
+                        < 1e-7 * sol.s.max_abs().max(1.0)
+                );
+            }
+            Err(_) => {
+                // Acceptable: pair may be unstabilizable. Nothing to assert.
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Classic schedulability bounds and extended response-time analyses.
+//!
+//! These complement the exact fixed points: the Liu & Layland and
+//! hyperbolic (Bini & Buttazzo) utilization tests are *sustainable*
+//! (monotone) schedulability tests — the well-behaved world the paper
+//! contrasts its anomalies against — and the jitter-aware WCRT recurrence
+//! extends Eq. 3 to tasks with release jitter (holistic analysis, as in
+//! the paper's reference [20]).
+
+use crate::analysis::wcrt_with_limit;
+use crate::task::{utilization, Task};
+use crate::time::Ticks;
+
+/// The Liu & Layland rate-monotonic utilization bound `n (2^{1/n} - 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use csa_rta::liu_layland_bound;
+///
+/// assert_eq!(liu_layland_bound(1), 1.0);
+/// assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-4);
+/// assert!(liu_layland_bound(100) > 0.69);
+/// ```
+pub fn liu_layland_bound(n: usize) -> f64 {
+    assert!(n > 0, "need at least one task");
+    let nf = n as f64;
+    nf * (2f64.powf(1.0 / nf) - 1.0)
+}
+
+/// Liu & Layland utilization test: sufficient for rate-monotonic
+/// schedulability of implicit-deadline tasks.
+pub fn schedulable_liu_layland(tasks: &[Task]) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
+    utilization(tasks) <= liu_layland_bound(tasks.len())
+}
+
+/// Hyperbolic bound (Bini & Buttazzo): `prod (U_i + 1) <= 2`. Strictly
+/// dominates Liu & Layland (accepts every set L&L accepts, and more).
+pub fn schedulable_hyperbolic(tasks: &[Task]) -> bool {
+    tasks
+        .iter()
+        .map(|t| t.utilization() + 1.0)
+        .product::<f64>()
+        <= 2.0
+}
+
+/// Exact jitter-aware worst-case response time: the Eq. 3 recurrence
+/// extended with release jitter on the interfering tasks,
+///
+/// ```text
+/// R = c_w + sum_j ceil((R + J_j) / h_j) * c_w_j
+/// ```
+///
+/// and the task's own release jitter added on top (`R_total = R + J_i`).
+/// With all jitters zero this reduces exactly to [`crate::wcrt`].
+///
+/// Returns `None` when the total exceeds `limit`.
+pub fn wcrt_with_release_jitter(
+    task: &Task,
+    own_jitter: Ticks,
+    hp: &[(Task, Ticks)],
+    limit: Ticks,
+) -> Option<Ticks> {
+    let mut r = task.c_worst() + hp.iter().map(|(t, _)| t.c_worst()).sum::<Ticks>();
+    if r + own_jitter > limit {
+        return None;
+    }
+    loop {
+        let next = task.c_worst()
+            + hp.iter()
+                .map(|(j, jit)| j.c_worst() * (r + *jit).div_ceil(j.period()))
+                .sum::<Ticks>();
+        if next + own_jitter > limit {
+            return None;
+        }
+        if next == r {
+            return Some(r + own_jitter);
+        }
+        debug_assert!(next > r);
+        r = next;
+    }
+}
+
+/// Critical scaling factor: the largest multiplier `alpha` such that the
+/// task set with every worst-case execution time scaled by `alpha`
+/// remains schedulable (all exact WCRTs within the implicit deadlines)
+/// under the given priority order (`tasks` sorted highest first).
+///
+/// Plain schedulability *is* monotone in the execution times
+/// (sustainable), so binary search is exact here — the well-behaved
+/// contrast to the paper's stability condition. The result is accurate
+/// to `tolerance` (relative).
+///
+/// # Panics
+///
+/// Panics if `tasks` is empty or `tolerance` is not in `(0, 1)`.
+pub fn critical_scaling_factor(tasks: &[Task], tolerance: f64) -> f64 {
+    assert!(!tasks.is_empty(), "need at least one task");
+    assert!(tolerance > 0.0 && tolerance < 1.0, "bad tolerance");
+
+    let schedulable_at = |alpha: f64| -> bool {
+        let mut scaled: Vec<Task> = Vec::with_capacity(tasks.len());
+        for t in tasks {
+            let cw = Ticks::new(
+                ((t.c_worst().get() as f64 * alpha).ceil() as u64).max(1),
+            );
+            if cw > t.period() {
+                return false;
+            }
+            let cb = t.c_best().min(cw);
+            scaled.push(
+                Task::new(t.id(), cb, cw, t.period()).expect("scaled task valid"),
+            );
+        }
+        (0..scaled.len()).all(|i| {
+            wcrt_with_limit(&scaled[i], &scaled[..i], scaled[i].period()).is_some()
+        })
+    };
+
+    if !schedulable_at(1e-9) {
+        return 0.0;
+    }
+    // Bracket upward.
+    let mut lo = 1e-9;
+    let mut hi = 1.0;
+    while schedulable_at(hi) {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e6 {
+            return hi; // effectively unbounded (tiny utilizations)
+        }
+    }
+    while (hi - lo) / hi > tolerance {
+        let mid = 0.5 * (lo + hi);
+        if schedulable_at(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use crate::analysis::wcrt;
+
+    fn t(id: u32, c: u64, h: u64) -> Task {
+        Task::with_fixed_execution(TaskId::new(id), Ticks::new(c), Ticks::new(h)).unwrap()
+    }
+
+    #[test]
+    fn liu_layland_values() {
+        assert!((liu_layland_bound(2) - 2.0 * (2f64.sqrt() - 1.0)).abs() < 1e-12);
+        assert!((liu_layland_bound(1000) - 2f64.ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hyperbolic_dominates_liu_layland() {
+        // A set accepted by L&L must be accepted by the hyperbolic test.
+        for (c1, c2, c3) in [(1u64, 1, 1), (2, 2, 3), (1, 3, 5)] {
+            let ts = vec![t(0, c1, 10), t(1, c2, 14), t(2, c3, 20)];
+            if schedulable_liu_layland(&ts) {
+                assert!(schedulable_hyperbolic(&ts));
+            }
+        }
+        // And there are sets only the hyperbolic test accepts: an
+        // asymmetric pair with U = (0.9, 0.05): sum 0.95 > 0.828 (L&L
+        // bound) but product (1.9)(1.05) = 1.995 <= 2.
+        let asymmetric = vec![t(0, 9, 10), t(1, 1, 20)];
+        assert!(!schedulable_liu_layland(&asymmetric));
+        assert!(schedulable_hyperbolic(&asymmetric));
+        // That set is indeed schedulable (exact RTA confirms).
+        assert!(wcrt(&asymmetric[1], &asymmetric[..1]).is_some());
+    }
+
+    #[test]
+    fn jitter_aware_reduces_to_plain() {
+        let hp = [t(0, 1, 4), t(1, 2, 6)];
+        let task = t(2, 3, 30);
+        let plain = wcrt(&task, &hp).unwrap();
+        let with_jitter = wcrt_with_release_jitter(
+            &task,
+            Ticks::ZERO,
+            &[(hp[0], Ticks::ZERO), (hp[1], Ticks::ZERO)],
+            Ticks::new(30),
+        )
+        .unwrap();
+        assert_eq!(plain, with_jitter);
+    }
+
+    #[test]
+    fn jitter_increases_interference() {
+        let hp = t(0, 1, 4);
+        let task = t(1, 3, 30);
+        let r0 = wcrt_with_release_jitter(&task, Ticks::ZERO, &[(hp, Ticks::ZERO)], Ticks::new(30))
+            .unwrap();
+        // Jitter 2 on the interferer pulls an extra release into the
+        // window: R = 3 + ceil((R+2)/4): R=4: 3+ceil(6/4)=2 -> 5;
+        // R=5: 3+ceil(7/4)=2 -> 5 fixed.
+        let r2 = wcrt_with_release_jitter(&task, Ticks::ZERO, &[(hp, Ticks::new(2))], Ticks::new(30))
+            .unwrap();
+        assert!(r2 >= r0);
+        assert_eq!(r2, Ticks::new(5));
+        // Own jitter adds directly.
+        let r_own =
+            wcrt_with_release_jitter(&task, Ticks::new(7), &[(hp, Ticks::ZERO)], Ticks::new(30))
+                .unwrap();
+        assert_eq!(r_own, r0 + Ticks::new(7));
+    }
+
+    #[test]
+    fn jitter_monotonicity_property() {
+        // WCRT with release jitter is monotone in every jitter — the
+        // sustainable behaviour the stability condition lacks.
+        let hp = [t(0, 2, 7), t(1, 1, 5)];
+        let task = t(2, 4, 60);
+        let limit = Ticks::new(60);
+        let mut last = Ticks::ZERO;
+        for j in 0..10u64 {
+            let r = wcrt_with_release_jitter(
+                &task,
+                Ticks::ZERO,
+                &[(hp[0], Ticks::new(j)), (hp[1], Ticks::new(j / 2))],
+                limit,
+            );
+            if let Some(r) = r {
+                assert!(r >= last, "jitter-aware WCRT must be monotone");
+                last = r;
+            }
+        }
+    }
+
+    #[test]
+    fn critical_scaling_classic_set() {
+        // (1,4), (2,6), (3,10) has WCRTs 1, 3, 10 — the last exactly at
+        // its deadline, so the scaling factor is 1.0.
+        let ts = vec![t(0, 1, 4), t(1, 2, 6), t(2, 3, 10)];
+        let alpha = critical_scaling_factor(&ts, 1e-4);
+        assert!((alpha - 1.0).abs() < 1e-2, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn critical_scaling_with_slack() {
+        let ts = vec![t(0, 1, 10), t(1, 1, 14)];
+        let alpha = critical_scaling_factor(&ts, 1e-4);
+        assert!(alpha > 2.0, "low-utilization set scales well: {alpha}");
+        // The scaled set at ~alpha is schedulable, above it is not
+        // (verified internally by the bisection invariant).
+    }
+
+    #[test]
+    fn unschedulable_set_scales_to_zero_or_less_than_one() {
+        let ts = vec![t(0, 3, 4), t(1, 4, 8)];
+        let alpha = critical_scaling_factor(&ts, 1e-4);
+        assert!(alpha < 1.0, "overloaded set must scale down: {alpha}");
+        assert!(alpha > 0.0);
+    }
+}

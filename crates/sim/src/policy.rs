@@ -1,0 +1,124 @@
+//! Per-job execution-time policies.
+//!
+//! The task model only bounds execution times to `[c_b, c_w]`; a simulation
+//! must pick a concrete value for every job. Different policies exercise
+//! different corners: the analytical worst case needs `c_w` everywhere, the
+//! best case `c_b`, and randomized policies probe the interior.
+
+use csa_rta::{Task, Ticks};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses the execution time of each job of each task.
+pub trait ExecutionPolicy {
+    /// Execution time for job number `job_index` (0-based) of `task`.
+    ///
+    /// Implementations must return a value in `[task.c_best(),
+    /// task.c_worst()]`; the simulator clamps out-of-range values and
+    /// debug-asserts.
+    fn execution_time(&mut self, task: &Task, job_index: u64) -> Ticks;
+}
+
+/// Every job takes its worst-case execution time `c_w`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstCasePolicy;
+
+impl ExecutionPolicy for WorstCasePolicy {
+    fn execution_time(&mut self, task: &Task, _job_index: u64) -> Ticks {
+        task.c_worst()
+    }
+}
+
+/// Every job takes its best-case execution time `c_b`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestCasePolicy;
+
+impl ExecutionPolicy for BestCasePolicy {
+    fn execution_time(&mut self, task: &Task, _job_index: u64) -> Ticks {
+        task.c_best()
+    }
+}
+
+/// Jobs alternate between worst- and best-case execution times, a cheap
+/// deterministic way to produce jitter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlternatingPolicy;
+
+impl ExecutionPolicy for AlternatingPolicy {
+    fn execution_time(&mut self, task: &Task, job_index: u64) -> Ticks {
+        if job_index.is_multiple_of(2) {
+            task.c_worst()
+        } else {
+            task.c_best()
+        }
+    }
+}
+
+/// Execution times drawn uniformly from `[c_b, c_w]` with a seeded RNG
+/// (deterministic given the seed).
+#[derive(Debug, Clone)]
+pub struct UniformPolicy {
+    rng: StdRng,
+}
+
+impl UniformPolicy {
+    /// Creates a policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        UniformPolicy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ExecutionPolicy for UniformPolicy {
+    fn execution_time(&mut self, task: &Task, _job_index: u64) -> Ticks {
+        let lo = task.c_best().get();
+        let hi = task.c_worst().get();
+        Ticks::new(self.rng.gen_range(lo..=hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csa_rta::TaskId;
+
+    fn task() -> Task {
+        Task::new(
+            TaskId::new(0),
+            Ticks::new(2),
+            Ticks::new(8),
+            Ticks::new(20),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn worst_and_best() {
+        let t = task();
+        assert_eq!(WorstCasePolicy.execution_time(&t, 0), Ticks::new(8));
+        assert_eq!(BestCasePolicy.execution_time(&t, 0), Ticks::new(2));
+    }
+
+    #[test]
+    fn alternating_toggles() {
+        let t = task();
+        let mut p = AlternatingPolicy;
+        assert_eq!(p.execution_time(&t, 0), Ticks::new(8));
+        assert_eq!(p.execution_time(&t, 1), Ticks::new(2));
+        assert_eq!(p.execution_time(&t, 2), Ticks::new(8));
+    }
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let t = task();
+        let mut p1 = UniformPolicy::new(5);
+        let mut p2 = UniformPolicy::new(5);
+        for j in 0..100 {
+            let a = p1.execution_time(&t, j);
+            let b = p2.execution_time(&t, j);
+            assert_eq!(a, b);
+            assert!(a >= t.c_best() && a <= t.c_worst());
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Event-driven fixed-priority preemptive uniprocessor simulation.
+//!
+//! The simulator advances exact integer time between two kinds of events —
+//! job releases and job completions — always running the highest-priority
+//! ready job, preempting instantly on releases. It validates the analytical
+//! response-time bounds from `csa-rta` and provides observed
+//! latency/jitter for the examples.
+
+use crate::policy::ExecutionPolicy;
+use csa_rta::{Task, TaskId, Ticks};
+
+/// A task plus its fixed priority. Larger [`SimTask::priority`] values
+/// preempt smaller ones, matching the paper's `rho_i > rho_j` convention.
+#[derive(Debug, Clone, Copy)]
+pub struct SimTask {
+    /// The periodic task.
+    pub task: Task,
+    /// Scheduling priority; must be unique within a simulation.
+    pub priority: u32,
+    /// Release offset of the first job (0 = synchronous/critical instant).
+    pub offset: Ticks,
+}
+
+impl SimTask {
+    /// Creates a simulation task with zero offset.
+    pub fn new(task: Task, priority: u32) -> Self {
+        SimTask {
+            task,
+            priority,
+            offset: Ticks::ZERO,
+        }
+    }
+
+    /// Creates a simulation task with a release offset.
+    pub fn with_offset(task: Task, priority: u32, offset: Ticks) -> Self {
+        SimTask {
+            task,
+            priority,
+            offset,
+        }
+    }
+}
+
+/// Observed per-task response-time statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseStats {
+    /// Task these statistics belong to.
+    pub task_id: TaskId,
+    /// Number of completed jobs.
+    pub completed: u64,
+    /// Smallest observed response time (observed best case).
+    pub min: Ticks,
+    /// Largest observed response time (observed worst case).
+    pub max: Ticks,
+    /// Sum of response times (for means).
+    pub total: Ticks,
+    /// Number of jobs that finished after their implicit deadline.
+    pub deadline_misses: u64,
+}
+
+impl ResponseStats {
+    /// Observed latency: the minimum response time (cf. Eq. 2).
+    pub fn observed_latency(&self) -> Ticks {
+        self.min
+    }
+
+    /// Observed response-time jitter: `max - min` (cf. Eq. 2).
+    pub fn observed_jitter(&self) -> Ticks {
+        self.max - self.min
+    }
+
+    /// Mean response time in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() / self.completed as f64
+        }
+    }
+}
+
+/// One entry of a recorded schedule trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A job of `task_id` was released.
+    Release {
+        /// Release instant.
+        at: Ticks,
+        /// Task released.
+        task_id: TaskId,
+    },
+    /// The processor started (or resumed) executing a job.
+    Run {
+        /// Start of the execution slice.
+        from: Ticks,
+        /// End of the execution slice.
+        to: Ticks,
+        /// Task executing.
+        task_id: TaskId,
+    },
+    /// A job of `task_id` completed with the given response time.
+    Completion {
+        /// Completion instant.
+        at: Ticks,
+        /// Task completed.
+        task_id: TaskId,
+        /// Response time of the completed job.
+        response: Ticks,
+    },
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per-task statistics, in the order tasks were supplied.
+    pub stats: Vec<ResponseStats>,
+    /// Recorded trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+    /// Time at which the simulation stopped.
+    pub horizon: Ticks,
+}
+
+impl SimOutcome {
+    /// Statistics for a given task id, if it was part of the simulation.
+    pub fn stats_for(&self, id: TaskId) -> Option<&ResponseStats> {
+        self.stats.iter().find(|s| s.task_id == id)
+    }
+}
+
+/// An active job in the ready queue.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    task_index: usize,
+    release: Ticks,
+    remaining: Ticks,
+}
+
+/// Fixed-priority preemptive simulator.
+///
+/// # Examples
+///
+/// ```
+/// use csa_rta::{Task, TaskId, Ticks};
+/// use csa_sim::{Simulator, SimTask, WorstCasePolicy};
+///
+/// # fn main() -> Result<(), csa_rta::InvalidTask> {
+/// let hi = SimTask::new(Task::with_fixed_execution(TaskId::new(0), Ticks::new(1), Ticks::new(4))?, 2);
+/// let lo = SimTask::new(Task::with_fixed_execution(TaskId::new(1), Ticks::new(2), Ticks::new(10))?, 1);
+/// let outcome = Simulator::new(vec![hi, lo])
+///     .run(Ticks::new(40), &mut WorstCasePolicy);
+/// // The low-priority task's first job sees one preemption: response 3.
+/// assert_eq!(outcome.stats[1].max, Ticks::new(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    tasks: Vec<SimTask>,
+    record_trace: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator over the given prioritized tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two tasks share a priority (the schedule would be
+    /// ambiguous) or if `tasks` is empty.
+    pub fn new(tasks: Vec<SimTask>) -> Self {
+        assert!(!tasks.is_empty(), "need at least one task");
+        for (i, a) in tasks.iter().enumerate() {
+            for b in &tasks[i + 1..] {
+                assert_ne!(
+                    a.priority, b.priority,
+                    "priorities must be unique ({} vs {})",
+                    a.task.id(),
+                    b.task.id()
+                );
+            }
+        }
+        Simulator {
+            tasks,
+            record_trace: false,
+        }
+    }
+
+    /// Enables trace recording (releases, execution slices, completions).
+    pub fn record_trace(mut self, enable: bool) -> Self {
+        self.record_trace = enable;
+        self
+    }
+
+    /// Runs the simulation until `horizon`, drawing execution times from
+    /// `policy`.
+    ///
+    /// Jobs released before the horizon but unfinished at it are discarded
+    /// (they do not contribute statistics). Deadline misses do not abort
+    /// the job — the overrunning job keeps executing at its priority and
+    /// the miss is counted, letting over-utilized sets run to the horizon.
+    pub fn run<P: ExecutionPolicy + ?Sized>(&self, horizon: Ticks, policy: &mut P) -> SimOutcome {
+        let n = self.tasks.len();
+        let mut next_release: Vec<Ticks> = self.tasks.iter().map(|t| t.offset).collect();
+        let mut job_count = vec![0u64; n];
+        let mut ready: Vec<Job> = Vec::new();
+        let mut trace = Vec::new();
+        let mut stats: Vec<ResponseStats> = self
+            .tasks
+            .iter()
+            .map(|t| ResponseStats {
+                task_id: t.task.id(),
+                completed: 0,
+                min: Ticks::MAX,
+                max: Ticks::ZERO,
+                total: Ticks::ZERO,
+                deadline_misses: 0,
+            })
+            .collect();
+
+        let mut now = Ticks::ZERO;
+        loop {
+            // Release every job due at or before `now`.
+            for i in 0..n {
+                while next_release[i] <= now && next_release[i] < horizon {
+                    let release = next_release[i];
+                    let c = self.execution_time(policy, i, job_count[i]);
+                    job_count[i] += 1;
+                    next_release[i] = release + self.tasks[i].task.period();
+                    ready.push(Job {
+                        task_index: i,
+                        release,
+                        remaining: c,
+                    });
+                    if self.record_trace {
+                        trace.push(TraceEvent::Release {
+                            at: release,
+                            task_id: self.tasks[i].task.id(),
+                        });
+                    }
+                }
+            }
+
+            // Pick the highest-priority ready job (FIFO within a task).
+            let running = ready
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, j)| (self.tasks[j.task_index].priority, std::cmp::Reverse(j.release)))
+                .map(|(idx, _)| idx);
+
+            let next_rel = next_release
+                .iter()
+                .copied()
+                .filter(|&r| r < horizon)
+                .min();
+
+            let Some(run_idx) = running else {
+                // Idle: jump to the next release, or stop.
+                match next_rel {
+                    Some(r) if r < horizon => {
+                        now = r;
+                        continue;
+                    }
+                    _ => break,
+                }
+            };
+
+            let job = ready[run_idx];
+            let finish_at = now + job.remaining;
+            let until = match next_rel {
+                Some(r) if r < finish_at => r,
+                _ => finish_at,
+            };
+            // Never run past the horizon.
+            let until = until.min(horizon);
+            if until > now {
+                if self.record_trace {
+                    trace.push(TraceEvent::Run {
+                        from: now,
+                        to: until,
+                        task_id: self.tasks[job.task_index].task.id(),
+                    });
+                }
+                let executed = until - now;
+                ready[run_idx].remaining -= executed;
+            }
+            if ready[run_idx].remaining.is_zero() {
+                let done = ready.swap_remove(run_idx);
+                let response = until - done.release;
+                let s = &mut stats[done.task_index];
+                s.completed += 1;
+                s.total += response;
+                s.min = s.min.min(response);
+                s.max = s.max.max(response);
+                if response > self.tasks[done.task_index].task.period() {
+                    s.deadline_misses += 1;
+                }
+                if self.record_trace {
+                    trace.push(TraceEvent::Completion {
+                        at: until,
+                        task_id: self.tasks[done.task_index].task.id(),
+                        response,
+                    });
+                }
+            }
+            if until >= horizon {
+                break;
+            }
+            now = until;
+        }
+
+        // Normalize empty stats (min stays MAX if nothing completed).
+        for s in &mut stats {
+            if s.completed == 0 {
+                s.min = Ticks::ZERO;
+            }
+        }
+        SimOutcome {
+            stats,
+            trace,
+            horizon,
+        }
+    }
+
+    fn execution_time<P: ExecutionPolicy + ?Sized>(
+        &self,
+        policy: &mut P,
+        task_index: usize,
+        job_index: u64,
+    ) -> Ticks {
+        let task = &self.tasks[task_index].task;
+        let c = policy.execution_time(task, job_index);
+        debug_assert!(
+            c >= task.c_best() && c <= task.c_worst(),
+            "policy returned {c} outside [{}, {}] for {}",
+            task.c_best(),
+            task.c_worst(),
+            task.id()
+        );
+        c.max(task.c_best()).min(task.c_worst())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AlternatingPolicy, BestCasePolicy, UniformPolicy, WorstCasePolicy};
+    use csa_rta::{response_bounds, Task, TaskId};
+
+    fn t(id: u32, c: u64, h: u64) -> Task {
+        Task::with_fixed_execution(TaskId::new(id), Ticks::new(c), Ticks::new(h)).unwrap()
+    }
+
+    fn tb(id: u32, cb: u64, cw: u64, h: u64) -> Task {
+        Task::new(TaskId::new(id), Ticks::new(cb), Ticks::new(cw), Ticks::new(h)).unwrap()
+    }
+
+    #[test]
+    fn single_task_response_is_execution_time() {
+        let sim = Simulator::new(vec![SimTask::new(t(0, 3, 10), 1)]);
+        let out = sim.run(Ticks::new(100), &mut WorstCasePolicy);
+        assert_eq!(out.stats[0].completed, 10);
+        assert_eq!(out.stats[0].min, Ticks::new(3));
+        assert_eq!(out.stats[0].max, Ticks::new(3));
+        assert_eq!(out.stats[0].deadline_misses, 0);
+    }
+
+    #[test]
+    fn two_task_hand_schedule() {
+        // hi: c=1 h=4; lo: c=2 h=10 synchronous.
+        // Schedule: [0,1) hi, [1,3) lo done at 3 (response 3).
+        // Second lo job at 10: hi released at 12 preempts? lo runs [10,12)
+        // done at 12 response 2: wait hi releases at 8 runs [8,9), then
+        // idle; at 10 lo released, runs [10,12), hi at 12 — lo already
+        // done exactly at 12.
+        let sim = Simulator::new(vec![
+            SimTask::new(t(0, 1, 4), 2),
+            SimTask::new(t(1, 2, 10), 1),
+        ])
+        .record_trace(true);
+        let out = sim.run(Ticks::new(20), &mut WorstCasePolicy);
+        let lo = out.stats_for(TaskId::new(1)).unwrap();
+        assert_eq!(lo.completed, 2);
+        assert_eq!(lo.max, Ticks::new(3));
+        assert_eq!(lo.min, Ticks::new(2));
+        assert!(!out.trace.is_empty());
+    }
+
+    #[test]
+    fn critical_instant_reproduces_wcrt() {
+        // Synchronous release with worst-case execution: the first job of
+        // the lowest-priority task must exhibit exactly the analytical WCRT.
+        let t1 = t(0, 1, 4);
+        let t2 = t(1, 2, 6);
+        let t3 = t(2, 3, 10);
+        let rb = response_bounds(&t3, &[t1, t2]).unwrap();
+        let sim = Simulator::new(vec![
+            SimTask::new(t1, 3),
+            SimTask::new(t2, 2),
+            SimTask::new(t3, 1),
+        ]);
+        let out = sim.run(Ticks::new(10), &mut WorstCasePolicy);
+        assert_eq!(out.stats[2].max, rb.wcrt);
+    }
+
+    #[test]
+    fn responses_within_analytical_bounds() {
+        let t1 = tb(0, 1, 2, 7);
+        let t2 = tb(1, 1, 3, 13);
+        let t3 = tb(2, 2, 4, 31);
+        let rb3 = response_bounds(&t3, &[t1, t2]).unwrap();
+        let sim = Simulator::new(vec![
+            SimTask::new(t1, 3),
+            SimTask::new(t2, 2),
+            SimTask::new(t3, 1),
+        ]);
+        for seed in 0..5 {
+            let mut policy = UniformPolicy::new(seed);
+            let out = sim.run(Ticks::from_micros(100), &mut policy);
+            let s = out.stats_for(TaskId::new(2)).unwrap();
+            assert!(s.completed > 0);
+            assert!(s.max <= rb3.wcrt, "observed {} > WCRT {}", s.max, rb3.wcrt);
+            assert!(s.min >= rb3.bcrt, "observed {} < BCRT {}", s.min, rb3.bcrt);
+        }
+    }
+
+    #[test]
+    fn alternating_policy_creates_jitter() {
+        let task = tb(0, 2, 6, 10);
+        let sim = Simulator::new(vec![SimTask::new(task, 1)]);
+        let out = sim.run(Ticks::new(100), &mut AlternatingPolicy);
+        assert_eq!(out.stats[0].observed_jitter(), Ticks::new(4));
+        assert_eq!(out.stats[0].observed_latency(), Ticks::new(2));
+    }
+
+    #[test]
+    fn offset_delays_first_release() {
+        let task = t(0, 1, 10);
+        let sim = Simulator::new(vec![SimTask::with_offset(task, 1, Ticks::new(5))]);
+        let out = sim.record_trace(true).run(Ticks::new(30), &mut BestCasePolicy);
+        assert_eq!(out.stats[0].completed, 3); // releases at 5, 15, 25
+        match out.trace[0] {
+            TraceEvent::Release { at, .. } => assert_eq!(at, Ticks::new(5)),
+            _ => panic!("first event must be a release"),
+        }
+    }
+
+    #[test]
+    fn overload_counts_deadline_misses_and_terminates() {
+        // Utilization 1.25: the low-priority task must miss.
+        let sim = Simulator::new(vec![
+            SimTask::new(t(0, 3, 4), 2),
+            SimTask::new(t(1, 4, 8), 1),
+        ]);
+        let out = sim.run(Ticks::new(200), &mut WorstCasePolicy);
+        assert!(out.stats[1].deadline_misses > 0);
+    }
+
+    #[test]
+    fn trace_slices_are_contiguous_and_ordered() {
+        let sim = Simulator::new(vec![
+            SimTask::new(t(0, 1, 3), 2),
+            SimTask::new(t(1, 3, 9), 1),
+        ])
+        .record_trace(true);
+        let out = sim.run(Ticks::new(27), &mut WorstCasePolicy);
+        let mut last_end = Ticks::ZERO;
+        for e in &out.trace {
+            if let TraceEvent::Run { from, to, .. } = e {
+                assert!(from < to, "empty run slice");
+                assert!(*from >= last_end, "run slices must not overlap");
+                last_end = *to;
+            }
+        }
+        // Processor is busy 1/3 + 3/9 = 2/3 of the time: total run time 18.
+        let busy: u64 = out
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Run { from, to, .. } => Some(to.get() - from.get()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(busy, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "priorities must be unique")]
+    fn duplicate_priorities_panic() {
+        let _ = Simulator::new(vec![
+            SimTask::new(t(0, 1, 4), 1),
+            SimTask::new(t(1, 1, 5), 1),
+        ]);
+    }
+
+    #[test]
+    fn fifo_within_task_on_overrun() {
+        // Heavy interference makes the low-priority task overrun its
+        // period, so two of its jobs are simultaneously active; they must
+        // complete in release order (FIFO within a task).
+        // hi: c=3 h=4 (prio 2); lo: c=2 h=5 (prio 1).
+        // Hand schedule: hi [0,3)[4,7)[8,11)[12,15); lo0 [3,4)+[7,8) done
+        // at 8 (response 8); lo1 [11,12)+[15,16) done at 16 (response 11).
+        let sim = Simulator::new(vec![
+            SimTask::new(t(0, 3, 4), 2),
+            SimTask::new(t(1, 2, 5), 1),
+        ])
+        .record_trace(true);
+        let out = sim.run(Ticks::new(16), &mut WorstCasePolicy);
+        let lo_completions: Vec<_> = out
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Completion { at, response, task_id } if *task_id == TaskId::new(1) => {
+                    Some((*at, *response))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lo_completions.len(), 2);
+        assert_eq!(lo_completions[0], (Ticks::new(8), Ticks::new(8)));
+        assert_eq!(lo_completions[1], (Ticks::new(16), Ticks::new(11)));
+        assert_eq!(out.stats[1].deadline_misses, 2);
+    }
+}

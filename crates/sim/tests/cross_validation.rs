@@ -1,0 +1,131 @@
+//! Property tests: the simulator must respect the analytical
+//! response-time bounds from `csa-rta` on randomly generated task sets.
+
+use csa_rta::{response_bounds, Task, TaskId, Ticks};
+use csa_sim::{
+    AlternatingPolicy, BestCasePolicy, SimTask, Simulator, UniformPolicy, WorstCasePolicy,
+};
+use proptest::prelude::*;
+
+/// Generates a schedulable-ish set of up to 4 tasks with bounded
+/// parameters, sorted by period (rate monotonic priorities).
+fn small_task_set() -> impl Strategy<Value = Vec<Task>> {
+    proptest::collection::vec((1u64..6, 10u64..60, 0u64..5), 1..4).prop_map(|specs| {
+        let mut tasks: Vec<Task> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c_worst, period, cut))| {
+                let c_best = c_worst.saturating_sub(cut).max(1);
+                Task::new(
+                    TaskId::new(i as u32),
+                    Ticks::new(c_best),
+                    Ticks::new(c_worst),
+                    Ticks::new(period),
+                )
+                .expect("valid by construction")
+            })
+            .collect();
+        tasks.sort_by_key(|t| t.period());
+        tasks
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn observed_responses_within_analytical_bounds(tasks in small_task_set(), seed in any::<u64>()) {
+        let n = tasks.len();
+        // Rate-monotonic priorities: earlier (shorter period) = higher.
+        let sim_tasks: Vec<SimTask> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SimTask::new(*t, (n - i) as u32))
+            .collect();
+
+        // Analytical bounds per task (None => skip the comparison).
+        let bounds: Vec<_> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| response_bounds(t, &tasks[..i]))
+            .collect();
+
+        let sim = Simulator::new(sim_tasks);
+        let horizon = Ticks::new(20_000);
+        for policy_id in 0..3 {
+            let out = match policy_id {
+                0 => sim.run(horizon, &mut WorstCasePolicy),
+                1 => sim.run(horizon, &mut AlternatingPolicy),
+                _ => sim.run(horizon, &mut UniformPolicy::new(seed)),
+            };
+            for (i, stat) in out.stats.iter().enumerate() {
+                if let Some(rb) = bounds[i] {
+                    prop_assert!(stat.completed > 0);
+                    prop_assert!(
+                        stat.max <= rb.wcrt,
+                        "task {i}: observed max {} exceeds WCRT {} (policy {policy_id})",
+                        stat.max, rb.wcrt
+                    );
+                    prop_assert!(
+                        stat.min >= rb.bcrt,
+                        "task {i}: observed min {} below BCRT {} (policy {policy_id})",
+                        stat.min, rb.bcrt
+                    );
+                    prop_assert_eq!(stat.deadline_misses, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_critical_instant_is_tight(tasks in small_task_set()) {
+        // With synchronous release and worst-case execution, the first job
+        // of every schedulable task attains exactly its WCRT.
+        let n = tasks.len();
+        let sim_tasks: Vec<SimTask> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SimTask::new(*t, (n - i) as u32))
+            .collect();
+        let sim = Simulator::new(sim_tasks).record_trace(true);
+        let horizon = tasks.iter().map(|t| t.period()).max().unwrap();
+        let out = sim.run(horizon, &mut WorstCasePolicy);
+        for (i, t) in tasks.iter().enumerate() {
+            if let Some(rb) = response_bounds(t, &tasks[..i]) {
+                // First completion of task i in the trace.
+                let first = out.trace.iter().find_map(|e| match e {
+                    csa_sim::TraceEvent::Completion { task_id, response, .. }
+                        if *task_id == t.id() => Some(*response),
+                    _ => None,
+                });
+                if let Some(resp) = first {
+                    prop_assert_eq!(
+                        resp, rb.wcrt,
+                        "task {} first response {} != WCRT {}", i, resp, rb.wcrt
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_case_policy_touches_bcrt_eventually(tasks in small_task_set()) {
+        // With best-case execution everywhere, some job of each
+        // schedulable task should reach a response at or above BCRT but
+        // the minimum can never dip below it.
+        let n = tasks.len();
+        let sim_tasks: Vec<SimTask> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SimTask::new(*t, (n - i) as u32))
+            .collect();
+        let sim = Simulator::new(sim_tasks);
+        let out = sim.run(Ticks::new(50_000), &mut BestCasePolicy);
+        for (i, t) in tasks.iter().enumerate() {
+            if let Some(rb) = response_bounds(t, &tasks[..i]) {
+                let s = &out.stats[i];
+                prop_assert!(s.min >= rb.bcrt);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Anomaly gallery: concrete witnesses of the paper's scheduling
+//! anomalies, found by seeded random search and certified by exact
+//! re-analysis.
+//!
+//! ```text
+//! cargo run --release --example anomaly_gallery
+//! ```
+//!
+//! Each witness shows a control task that is *stable* in a configuration
+//! with MORE interference and *unstable* after interference is removed —
+//! the non-monotonicity at the heart of the paper.
+
+use csa_core::{
+    check_task, find_interference_removal_anomaly, find_priority_raise_anomaly, verify_witness,
+    AnomalyKind, ControlTask, PriorityAssignment,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random small task set with bounds calibrated to sit just above the
+/// stability boundary (the regime where anomalies live).
+fn random_calibrated_set(rng: &mut StdRng) -> (Vec<ControlTask>, PriorityAssignment) {
+    let n = rng.gen_range(3..5);
+    let raw: Vec<(u64, u64, u64)> = (0..n)
+        .map(|_| {
+            let period = rng.gen_range(10..60u64) * 2;
+            let cw = rng.gen_range(1..=period / 2);
+            let cb = rng.gen_range(1..=cw);
+            (cb, cw, period)
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| raw[i].2);
+    let pa = PriorityAssignment::from_highest_first(&order);
+    let a = 1.0 + rng.gen::<f64>() * 5.0;
+    let plain: Vec<ControlTask> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(cb, cw, p))| ControlTask::from_parts(i as u32, cb, cw, p, 1.0, 1.0).unwrap())
+        .collect();
+    let tasks = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(cb, cw, p))| {
+            let v = check_task(&plain, i, &pa.hp_indices(i));
+            let b = match v.bounds {
+                Some(rb) => rb.latency().as_secs_f64() + a * rb.jitter().as_secs_f64() + 1e-12,
+                None => 1.0,
+            };
+            ControlTask::from_parts(i as u32, cb, cw, p, a, b).unwrap()
+        })
+        .collect();
+    (tasks, pa)
+}
+
+fn describe(tasks: &[ControlTask], pa: &PriorityAssignment, w: &csa_core::AnomalyWitness) {
+    let t = &tasks[w.task];
+    println!(
+        "  victim tau_{} (c in [{}, {}], h = {}, bound {})",
+        w.task,
+        t.task().c_best(),
+        t.task().c_worst(),
+        t.task().period(),
+        t.bound()
+    );
+    match w.kind {
+        AnomalyKind::InterferenceRemoval { removed } => {
+            println!("  change: remove higher-priority tau_{removed} from the interference set");
+        }
+        AnomalyKind::PriorityRaise { displaced } => {
+            println!("  change: promote the victim one level (above tau_{displaced})");
+        }
+        _ => {}
+    }
+    let b = w.before.bounds.unwrap();
+    println!(
+        "  before: L = {}, J = {}, slack = {:+.3e} s  (stable)",
+        b.latency(),
+        b.jitter(),
+        w.before.slack
+    );
+    match w.after.bounds {
+        Some(a) => println!(
+            "  after:  L = {}, J = {}, slack = {:+.3e} s  (UNSTABLE: jitter grew although interference shrank)",
+            a.latency(),
+            a.jitter(),
+            w.after.slack
+        ),
+        None => println!("  after:  unschedulable"),
+    }
+    assert!(verify_witness(tasks, pa, w), "witness must re-verify");
+    println!("  witness independently re-verified against Eqs. 2-5\n");
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xA0A1);
+    let mut removal_found = 0;
+    let mut raise_found = 0;
+    let mut sets_examined = 0u64;
+
+    println!("searching random task sets for certified anomaly witnesses...\n");
+    while (removal_found < 2 || raise_found < 1) && sets_examined < 200_000 {
+        sets_examined += 1;
+        let (tasks, pa) = random_calibrated_set(&mut rng);
+        if removal_found < 2 {
+            if let Some(w) = find_interference_removal_anomaly(&tasks, &pa) {
+                removal_found += 1;
+                println!("== interference-removal anomaly #{removal_found} (set {sets_examined}) ==");
+                describe(&tasks, &pa, &w);
+            }
+        }
+        if raise_found < 1 {
+            if let Some(w) = find_priority_raise_anomaly(&tasks, &pa) {
+                raise_found += 1;
+                println!("== priority-raise anomaly #{raise_found} (set {sets_examined}) ==");
+                describe(&tasks, &pa, &w);
+            }
+        }
+    }
+    println!(
+        "examined {sets_examined} random sets to find {} witnesses — anomalies are rare, \
+         exactly as the paper argues",
+        removal_found + raise_found
+    );
+}

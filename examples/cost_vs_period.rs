@@ -1,0 +1,37 @@
+//! Regenerates the data behind the paper's Fig. 2: LQG control cost as a
+//! function of the sampling period, showing the increasing trend, the
+//! local non-monotonicity, and the pathological periods where the cost
+//! blows up.
+//!
+//! ```text
+//! cargo run --release --example cost_vs_period
+//! ```
+
+use csa_experiments::{pathological_cost, run_fig2, Fig2Config};
+
+fn main() {
+    let curves = run_fig2(&Fig2Config {
+        h_min: 0.02,
+        h_max: 1.0,
+        points: 200,
+    });
+    for c in &curves {
+        println!("# plant: {}", c.plant);
+        println!(
+            "# local maxima: {}, increasing trend: {}, dynamic range: {:.2e}",
+            c.non_monotone_points(),
+            c.has_increasing_trend(),
+            c.dynamic_range()
+        );
+        println!("period_s,cost");
+        for &(h, j) in &c.samples {
+            println!("{h:.4},{j:.6e}");
+        }
+        println!();
+    }
+    // Spike locations are k*pi/wd for the lightly damped oscillator.
+    println!("# pathological-period costs (k*pi/wd):");
+    for k in 1..=3 {
+        println!("#   k = {k}: J = {:.3e}", pathological_cost(k));
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates the paper's Fig. 5 at a reduced scale: mean runtime of the
+//! backtracking Algorithm 1 against the Unsafe Quadratic baseline as the
+//! task count grows, plus the empirical complexity order.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use csa_experiments::{empirical_order, run_fig5, Fig5Config};
+
+fn main() {
+    let config = Fig5Config {
+        task_counts: (2..=10).map(|k| 2 * k).collect(),
+        benchmarks: 300,
+        seed: 5,
+    };
+    println!("# {} benchmarks per task count", config.benchmarks);
+    let points = run_fig5(&config);
+    println!(
+        "{:>4} {:>16} {:>16} {:>12} {:>12}",
+        "n", "backtrack (us)", "unsafe (us)", "bt checks", "backtracks"
+    );
+    for p in &points {
+        println!(
+            "{:>4} {:>16.2} {:>16.2} {:>12.1} {:>12.4}",
+            p.n,
+            p.backtracking_secs * 1e6,
+            p.unsafe_quadratic_secs * 1e6,
+            p.backtracking_checks,
+            p.backtracks
+        );
+    }
+    let order = empirical_order(
+        &points
+            .iter()
+            .map(|p| (p.n as f64, p.backtracking_checks))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nempirical order of Algorithm 1 check counts: n^{order:.2} \
+         (the paper: quadratic on average, exponential only in the worst case)"
+    );
+}

@@ -1,0 +1,61 @@
+//! Schedule visualization: what response-time jitter looks like on the
+//! processor, and why removing interference can *increase* it.
+//!
+//! ```text
+//! cargo run --release --example schedule_gantt
+//! ```
+//!
+//! Renders ASCII Gantt charts of a small fixed-priority schedule under
+//! worst-case and alternating execution times, and prints the observed
+//! response-time spread that the paper's `J` captures analytically.
+
+use csa_rta::{response_bounds, Task, TaskId, Ticks};
+use csa_sim::{render_gantt, AlternatingPolicy, SimTask, Simulator, WorstCasePolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three tasks, rate-monotonic priorities.
+    let t0 = Task::with_fixed_execution(TaskId::new(0), Ticks::new(2), Ticks::new(8))?;
+    let t1 = Task::new(TaskId::new(1), Ticks::new(2), Ticks::new(4), Ticks::new(12))?;
+    let t2 = Task::new(TaskId::new(2), Ticks::new(4), Ticks::new(6), Ticks::new(24))?;
+    let ids = [TaskId::new(0), TaskId::new(1), TaskId::new(2)];
+    let horizon = Ticks::new(48);
+
+    let sim = Simulator::new(vec![
+        SimTask::new(t0, 3),
+        SimTask::new(t1, 2),
+        SimTask::new(t2, 1),
+    ])
+    .record_trace(true);
+
+    println!("worst-case execution everywhere (the critical instant):\n");
+    let worst = sim.run(horizon, &mut WorstCasePolicy);
+    print!("{}", render_gantt(&worst.trace, &ids, horizon, 96));
+
+    println!("\nalternating best/worst execution (jitter appears):\n");
+    let alt = sim.run(horizon, &mut AlternatingPolicy);
+    print!("{}", render_gantt(&alt.trace, &ids, horizon, 96));
+
+    println!("\nobserved response times vs. analysis:");
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "task", "R_b", "R_w", "obs.min", "obs.max", "obs.J"
+    );
+    let tasks = [t0, t1, t2];
+    for (i, stat) in alt.stats.iter().enumerate() {
+        let rb = response_bounds(&tasks[i], &tasks[..i]).expect("schedulable");
+        println!(
+            "{:<8} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            stat.task_id.to_string(),
+            rb.bcrt.to_string(),
+            rb.wcrt.to_string(),
+            stat.min.to_string(),
+            stat.max.to_string(),
+            stat.observed_jitter().to_string()
+        );
+    }
+    println!(
+        "\nthe paper's stability condition consumes exactly these numbers: \
+         L = R_b and J = R_w - R_b (Eq. 2), tested against L + aJ <= b (Eq. 5)"
+    );
+    Ok(())
+}

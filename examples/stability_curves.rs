@@ -1,0 +1,44 @@
+//! Regenerates the data behind the paper's Fig. 4: jitter-margin
+//! stability curves for the DC servo `1000/(s^2 + s)` under sampled LQG
+//! control, together with the linear lower bounds `L + a J <= b` (Eq. 5).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example stability_curves
+//! ```
+//!
+//! Prints one CSV block per sampling period: latency, jitter margin, and
+//! the fitted linear bound, all in milliseconds.
+
+use csa_control::{design_lqg, plants, stability_curve, LqgWeights, StabilityFit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let plant = plants::dc_servo()?;
+    let weights = LqgWeights::output_regulation(&plant, 1e-4, 1e-6);
+
+    println!("# Fig. 4: stability curves for the DC servo 1000/(s^2+s)");
+    println!("# area below each curve is stable; line = linear lower bound");
+    for &h in &[0.006_f64, 0.009, 0.012] {
+        let lqg = design_lqg(&plant, &weights, h, 0.0)?;
+        let curve = stability_curve(&plant, &lqg.controller, h, 30)?;
+        let fit = StabilityFit::from_curve(&curve);
+        println!();
+        println!(
+            "# h = {} ms: delay margin b = {:.4} ms, slope a = {:.4}",
+            h * 1e3,
+            fit.b * 1e3,
+            fit.a
+        );
+        println!("latency_ms,jitter_margin_ms,linear_bound_ms");
+        for p in curve.points() {
+            println!(
+                "{:.5},{:.5},{:.5}",
+                p.latency * 1e3,
+                p.jitter_margin * 1e3,
+                fit.max_jitter(p.latency) * 1e3
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! Integration tests across the whole workspace: control design ->
+//! stability bounds -> scheduling analysis -> priority assignment ->
+//! scheduler simulation.
+
+use csa_control::{design_lqg, plants, stability_curve, LqgWeights, StabilityFit};
+use csa_core::{analyze, backtracking, is_valid_assignment, ControlTask, StabilityBound};
+use csa_experiments::{generate_benchmark, BenchmarkConfig};
+use csa_rta::{Task, TaskId, Ticks};
+use csa_sim::{SimTask, Simulator, UniformPolicy, WorstCasePolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a control task from a real plant: design the controller, fit
+/// the Eq. 5 bound, attach scheduling parameters.
+fn control_task_from_plant(
+    id: u32,
+    plant: &csa_control::StateSpace,
+    rho: f64,
+    h: f64,
+    c_best: f64,
+    c_worst: f64,
+) -> ControlTask {
+    let weights = LqgWeights::output_regulation(plant, rho, 1e-6);
+    let lqg = design_lqg(plant, &weights, h, 0.0).expect("designable");
+    let curve = stability_curve(plant, &lqg.controller, h, 16).expect("curve");
+    let fit = StabilityFit::from_curve(&curve);
+    let task = Task::new(
+        TaskId::new(id),
+        Ticks::from_secs_f64(c_best),
+        Ticks::from_secs_f64(c_worst),
+        Ticks::from_secs_f64(h),
+    )
+    .expect("valid task");
+    ControlTask::new(task, StabilityBound::new(fit.a, fit.b).expect("valid fit"))
+}
+
+#[test]
+fn full_codesign_pipeline_from_real_plants() {
+    let servo = plants::dc_servo().unwrap();
+    let osc = plants::oscillator(10.0, 0.1).unwrap();
+    let pend = plants::pendulum().unwrap();
+    let tasks = vec![
+        control_task_from_plant(0, &servo, 1e-1, 0.006, 0.0008, 0.0012),
+        control_task_from_plant(1, &osc, 1e-1, 0.020, 0.002, 0.0035),
+        control_task_from_plant(2, &pend, 1e-4, 0.025, 0.003, 0.006),
+    ];
+    let outcome = backtracking(&tasks);
+    let pa = outcome.assignment.expect("this system is schedulable");
+    assert!(is_valid_assignment(&tasks, &pa));
+
+    // Every task's analytical verdict must be stable with positive slack.
+    for v in analyze(&tasks, &pa) {
+        assert!(v.stable);
+        assert!(v.slack > 0.0);
+    }
+}
+
+#[test]
+fn simulation_confirms_analysis_on_generated_benchmarks() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut confirmed = 0;
+    for _ in 0..10 {
+        let tasks = generate_benchmark(&BenchmarkConfig::new(5), &mut rng);
+        let Some(pa) = backtracking(&tasks).assignment else {
+            continue;
+        };
+        let verdicts = analyze(&tasks, &pa);
+        let sim_tasks: Vec<SimTask> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| SimTask::new(*t.task(), pa.level_of(i)))
+            .collect();
+        let horizon = Ticks::from_secs_f64(
+            tasks
+                .iter()
+                .map(|t| t.task().period().as_secs_f64())
+                .fold(0.0, f64::max)
+                * 500.0,
+        );
+        let sim = Simulator::new(sim_tasks);
+        for policy_seed in [1u64, 2] {
+            let out = sim.run(horizon, &mut UniformPolicy::new(policy_seed));
+            for (i, stat) in out.stats.iter().enumerate() {
+                let rb = verdicts[i].bounds.expect("valid assignment");
+                assert!(stat.completed > 0);
+                assert!(
+                    stat.max <= rb.wcrt,
+                    "observed {} beyond WCRT {}",
+                    stat.max,
+                    rb.wcrt
+                );
+                assert!(
+                    stat.min >= rb.bcrt,
+                    "observed {} below BCRT {}",
+                    stat.min,
+                    rb.bcrt
+                );
+                assert_eq!(stat.deadline_misses, 0);
+                // Observed latency/jitter must satisfy the plant's bound
+                // (they are within the analytical envelope).
+                assert!(tasks[i]
+                    .bound()
+                    .permits(stat.observed_latency(), stat.observed_jitter()));
+            }
+        }
+        confirmed += 1;
+    }
+    assert!(confirmed >= 5, "too few solvable benchmarks: {confirmed}");
+}
+
+#[test]
+fn worst_case_policy_attains_wcrt_on_benchmark() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let tasks = generate_benchmark(&BenchmarkConfig::new(4), &mut rng);
+    let Some(pa) = backtracking(&tasks).assignment else {
+        return;
+    };
+    let verdicts = analyze(&tasks, &pa);
+    let sim_tasks: Vec<SimTask> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| SimTask::new(*t.task(), pa.level_of(i)))
+        .collect();
+    // Synchronous release + worst-case execution: first job of each task
+    // attains its WCRT exactly.
+    let horizon = tasks
+        .iter()
+        .map(|t| t.task().period())
+        .max()
+        .unwrap();
+    let out = Simulator::new(sim_tasks)
+        .record_trace(true)
+        .run(horizon, &mut WorstCasePolicy);
+    for (i, t) in tasks.iter().enumerate() {
+        let first = out.trace.iter().find_map(|e| match e {
+            csa_sim::TraceEvent::Completion {
+                task_id, response, ..
+            } if *task_id == t.task().id() => Some(*response),
+            _ => None,
+        });
+        if let Some(resp) = first {
+            assert_eq!(resp, verdicts[i].bounds.unwrap().wcrt);
+        }
+    }
+}
+
+#[test]
+fn assignment_is_deterministic_across_runs() {
+    let mut rng1 = StdRng::seed_from_u64(99);
+    let mut rng2 = StdRng::seed_from_u64(99);
+    let t1 = generate_benchmark(&BenchmarkConfig::new(8), &mut rng1);
+    let t2 = generate_benchmark(&BenchmarkConfig::new(8), &mut rng2);
+    assert_eq!(t1, t2);
+    let a1 = backtracking(&t1);
+    let a2 = backtracking(&t2);
+    assert_eq!(a1.assignment, a2.assignment);
+    assert_eq!(a1.stats, a2.stats);
+}

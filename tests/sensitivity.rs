@@ -1,0 +1,78 @@
+//! The paper's §I motivating example as an executable experiment:
+//! monotonicity-exploiting binary search vs. the safe exhaustive scan in
+//! WCET sensitivity analysis.
+
+use csa_core::{
+    backtracking, max_stable_wcet_binary, max_stable_wcet_scan, verify_sensitivity,
+};
+use csa_experiments::{generate_benchmark, BenchmarkConfig};
+use csa_rta::Ticks;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn binary_search_is_cheap_and_usually_agrees_with_scan() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut compared = 0u64;
+    let mut agreements = 0u64;
+    let mut binary_evals = 0u64;
+    let mut scan_evals = 0u64;
+    for _ in 0..20 {
+        let tasks = generate_benchmark(&BenchmarkConfig::new(4), &mut rng);
+        let Some(pa) = backtracking(&tasks).assignment else {
+            continue;
+        };
+        for i in 0..tasks.len() {
+            // Coarse resolution keeps the scan tractable (periods are in
+            // the millisecond = 10^6-tick range).
+            let resolution = Ticks::new((tasks[i].task().period().get() / 200).max(1));
+            let b = max_stable_wcet_binary(&tasks, &pa, i, resolution);
+            let s = max_stable_wcet_scan(&tasks, &pa, i, resolution);
+            compared += 1;
+            binary_evals += b.evaluations;
+            scan_evals += s.evaluations;
+            match (b.max_stable_cw, s.max_stable_cw) {
+                (Some(bv), Some(sv)) => {
+                    // Under monotonicity both agree to within one
+                    // resolution step; anomalies may make them differ —
+                    // rare (the paper's point).
+                    let diff = if bv >= sv { bv - sv } else { sv - bv };
+                    if diff <= resolution * 2 {
+                        agreements += 1;
+                    }
+                    // The scan's answer is always safe.
+                    assert!(verify_sensitivity(&tasks, &pa, i, sv, resolution));
+                }
+                (None, None) => agreements += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(compared >= 40, "too few comparisons: {compared}");
+    // The monotone trend "almost always holds" (paper §IV): agreement on
+    // at least 90% of queries.
+    assert!(
+        agreements * 10 >= compared * 9,
+        "binary/scan agreement too low: {agreements}/{compared}"
+    );
+    // And the whole reason to use binary search: far fewer evaluations.
+    assert!(
+        binary_evals * 3 < scan_evals,
+        "binary {binary_evals} vs scan {scan_evals} evaluations"
+    );
+}
+
+#[test]
+fn scan_answer_is_never_unsafe() {
+    let mut rng = StdRng::seed_from_u64(555);
+    for _ in 0..10 {
+        let tasks = generate_benchmark(&BenchmarkConfig::new(3), &mut rng);
+        let Some(pa) = backtracking(&tasks).assignment else {
+            continue;
+        };
+        let resolution = Ticks::new((tasks[0].task().period().get() / 100).max(1));
+        if let Some(cw) = max_stable_wcet_scan(&tasks, &pa, 0, resolution).max_stable_cw {
+            assert!(verify_sensitivity(&tasks, &pa, 0, cw, resolution));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The paper's complexity claims, demonstrated constructively:
+//! Algorithm 1 is quadratic *on average* (Fig. 5) but exponential in the
+//! worst case — and a check budget tames the pathology.
+
+use csa_core::{backtracking_with_budget, CandidateOrder, ControlTask};
+
+/// A factorial blow-up instance: `n - 2` interchangeable "flexible"
+/// tasks (stable anywhere) plus two "top-only" tasks that are stable
+/// only with an empty higher-priority set. Both top-only tasks demand
+/// the single top level, so the instance is infeasible — but the search
+/// only discovers the conflict after placing all flexible tasks, and it
+/// retries every one of their `(n-2)!` orderings.
+fn factorial_instance(n: usize) -> Vec<ControlTask> {
+    assert!(n >= 3);
+    let mut tasks = Vec::with_capacity(n);
+    for i in 0..n - 2 {
+        // Flexible: tiny demand, huge period, generous bound.
+        tasks.push(ControlTask::from_parts(i as u32, 1, 1, 1_000_000, 1.0, 1.0).unwrap());
+    }
+    for i in n - 2..n {
+        // Top-only: stable alone (L + aJ = c = 100 ns <= b = 100 ns),
+        // destabilized by any interference (Rw grows => J grows).
+        tasks.push(
+            ControlTask::from_parts(i as u32, 100, 100, 1_000_000, 1.0, 100e-9).unwrap(),
+        );
+    }
+    tasks
+}
+
+#[test]
+fn worst_case_check_count_grows_factorially() {
+    // The number of checks explodes combinatorially with n: the ratio
+    // of successive counts grows roughly linearly (the signature of a
+    // factorial, never of a polynomial of fixed degree).
+    let mut counts = Vec::new();
+    for n in [5usize, 6, 7, 8] {
+        let tasks = factorial_instance(n);
+        let (outcome, truncated) =
+            backtracking_with_budget(&tasks, CandidateOrder::Input, u64::MAX);
+        assert!(!truncated);
+        assert!(outcome.assignment.is_none(), "instance is infeasible");
+        counts.push(outcome.stats.checks as f64);
+    }
+    let r1 = counts[1] / counts[0];
+    let r2 = counts[2] / counts[1];
+    let r3 = counts[3] / counts[2];
+    assert!(
+        r3 > r2 && r2 > r1,
+        "successive growth ratios must increase (factorial): {counts:?}"
+    );
+    // Far beyond quadratic already at n = 8.
+    assert!(
+        counts[3] > 20.0 * 64.0,
+        "n=8 should need thousands of checks, got {}",
+        counts[3]
+    );
+}
+
+#[test]
+fn budget_tames_the_blow_up() {
+    let tasks = factorial_instance(9);
+    // Unbounded: very expensive. Budgeted: stops at the cap and reports
+    // the truncation honestly.
+    let cap = 500;
+    let (outcome, truncated) =
+        backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+    assert!(truncated, "the budget must bite on this instance");
+    assert!(outcome.assignment.is_none());
+    assert!(outcome.stats.checks <= cap + 1);
+}
+
+#[test]
+fn budget_does_not_disturb_easy_instances() {
+    // On a feasible benign set the budget is never reached and the
+    // result matches the unbounded search.
+    let tasks = vec![
+        ControlTask::from_parts(0, 1, 1, 4, 1.0, 1e-8).unwrap(),
+        ControlTask::from_parts(1, 2, 2, 6, 1.0, 1e-8).unwrap(),
+        ControlTask::from_parts(2, 3, 3, 10, 1.0, 1.2e-8).unwrap(),
+    ];
+    let (bounded, truncated) =
+        backtracking_with_budget(&tasks, CandidateOrder::Input, 10_000);
+    assert!(!truncated);
+    let unbounded = csa_core::backtracking(&tasks);
+    assert_eq!(bounded.assignment, unbounded.assignment);
+    assert_eq!(bounded.stats, unbounded.stats);
+}
