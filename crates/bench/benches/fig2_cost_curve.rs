@@ -17,9 +17,7 @@ fn bench_fig2(c: &mut Criterion) {
         b.iter(|| black_box(lqg_cost(&plant, &weights, black_box(0.05)).unwrap()))
     });
     group.bench_function("lqg_cost_near_pathological", |b| {
-        b.iter(|| {
-            black_box(lqg_cost(&plant, &weights, black_box(h_pathological * 0.98)).unwrap())
-        })
+        b.iter(|| black_box(lqg_cost(&plant, &weights, black_box(h_pathological * 0.98)).unwrap()))
     });
     group.bench_function("cost_sweep_16_points", |b| {
         let periods: Vec<f64> = (1..=16).map(|k| 0.02 + 0.05 * k as f64).collect();

@@ -2,9 +2,7 @@
 //! evaluation, and a full stability curve with its Eq. 5 fit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use csa_control::{
-    design_lqg, jitter_margin, plants, stability_curve, LqgWeights, StabilityFit,
-};
+use csa_control::{design_lqg, jitter_margin, plants, stability_curve, LqgWeights, StabilityFit};
 use std::hint::black_box;
 
 fn bench_fig4(c: &mut Criterion) {
@@ -19,9 +17,7 @@ fn bench_fig4(c: &mut Criterion) {
         b.iter(|| black_box(design_lqg(&plant, &weights, black_box(h), 0.0).unwrap()))
     });
     group.bench_function("jitter_margin_single_point", |b| {
-        b.iter(|| {
-            black_box(jitter_margin(&plant, &lqg.controller, h, black_box(0.002)).unwrap())
-        })
+        b.iter(|| black_box(jitter_margin(&plant, &lqg.controller, h, black_box(0.002)).unwrap()))
     });
     group.bench_function("stability_curve_16_and_fit", |b| {
         b.iter(|| {

@@ -2,9 +2,7 @@
 //! kernels, response-time fixed points, and the scheduler simulator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csa_linalg::{
-    dlyap, eigenvalues, expm, solve_dare, spectral_radius, zoh, Mat, StageCost,
-};
+use csa_linalg::{dlyap, eigenvalues, expm, solve_dare, spectral_radius, zoh, Mat, StageCost};
 use csa_rta::{response_bounds, uunifast, Task, TaskId, Ticks};
 use csa_sim::{SimTask, Simulator, UniformPolicy};
 use rand::rngs::StdRng;

@@ -17,23 +17,19 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     for &n in &[4usize, 8, 12, 16, 20] {
         let benchmarks = fixed_benchmarks(n, 20, 0x7AB1);
-        group.bench_with_input(
-            BenchmarkId::new("assign_and_verify", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut invalid = 0u32;
-                    for tasks in &benchmarks {
-                        if let Some(pa) = unsafe_quadratic(black_box(tasks)).assignment {
-                            if !is_valid_assignment(tasks, &pa) {
-                                invalid += 1;
-                            }
+        group.bench_with_input(BenchmarkId::new("assign_and_verify", n), &n, |b, _| {
+            b.iter(|| {
+                let mut invalid = 0u32;
+                for tasks in &benchmarks {
+                    if let Some(pa) = unsafe_quadratic(black_box(tasks)).assignment {
+                        if !is_valid_assignment(tasks, &pa) {
+                            invalid += 1;
                         }
                     }
-                    black_box(invalid)
-                })
-            },
-        );
+                }
+                black_box(invalid)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("generate", n), &n, |b, _| {
             let cfg = BenchmarkConfig::new(n);
             let mut rng = StdRng::seed_from_u64(1);

@@ -49,7 +49,9 @@ pub use c2d::{c2d_zoh, c2d_zoh_delayed};
 pub use cost::{cost_curve, lqg_cost, non_monotone_points};
 pub use error::{Error, Result};
 pub use freq::{continuous_response, discrete_response};
-pub use lqg::{design_lqg, input_sensitivity_loop, sample_cost, LqgController, LqgWeights, SampledCost};
+pub use lqg::{
+    design_lqg, input_sensitivity_loop, sample_cost, LqgController, LqgWeights, SampledCost,
+};
 pub use margin::{
     delay_margin, jitter_margin, stability_curve, CurvePoint, StabilityCurve, StabilityFit,
 };

@@ -89,7 +89,9 @@ pub fn sample_cost(plant: &StateSpace, weights: &LqgWeights, h: f64) -> Result<S
     let n = plant.order();
     let m = plant.inputs();
     if weights.q1.shape() != (n, n) || weights.q2.shape() != (m, m) {
-        return Err(Error::UnsupportedModel("weight dimensions must match the plant"));
+        return Err(Error::UnsupportedModel(
+            "weight dimensions must match the plant",
+        ));
     }
     // Augmented drift: z = [x; u], z' = [[A, B], [0, 0]] z while u is held.
     let mut abar = Mat::zeros(n + m, n + m);
@@ -159,7 +161,9 @@ pub fn design_lqg(
     let m = plant.inputs();
     let p = plant.outputs();
     if weights.r1.shape() != (n, n) || weights.r2.shape() != (p, p) {
-        return Err(Error::UnsupportedModel("noise dimensions must match the plant"));
+        return Err(Error::UnsupportedModel(
+            "noise dimensions must match the plant",
+        ));
     }
 
     let plant_d = c2d_zoh_delayed(plant, h, tau)?;
@@ -241,13 +245,19 @@ fn map_dare_err(e: csa_linalg::Error) -> Error {
 /// non-strictly-proper controller.
 pub fn input_sensitivity_loop(plant_d: &DiscreteSs, ctrl: &DiscreteSs) -> Result<DiscreteSs> {
     if (plant_d.period() - ctrl.period()).abs() > 1e-12 * plant_d.period() {
-        return Err(Error::UnsupportedModel("plant and controller periods differ"));
+        return Err(Error::UnsupportedModel(
+            "plant and controller periods differ",
+        ));
     }
     if plant_d.outputs() != ctrl.inputs() || ctrl.outputs() != plant_d.inputs() {
-        return Err(Error::UnsupportedModel("plant/controller dimensions do not close"));
+        return Err(Error::UnsupportedModel(
+            "plant/controller dimensions do not close",
+        ));
     }
     if ctrl.d().max_abs() != 0.0 {
-        return Err(Error::UnsupportedModel("controller must be strictly proper"));
+        return Err(Error::UnsupportedModel(
+            "controller must be strictly proper",
+        ));
     }
     let np = plant_d.order();
     let nc = ctrl.order();

@@ -40,7 +40,9 @@ pub fn simulate(sys: &DiscreteSs, x0: &Mat, inputs: &[Mat]) -> Result<Vec<Mat>> 
     let mut outputs = Vec::with_capacity(inputs.len());
     for u in inputs {
         if u.shape() != (sys.inputs(), 1) {
-            return Err(Error::UnsupportedModel("input must be an input-sized column"));
+            return Err(Error::UnsupportedModel(
+                "input must be an input-sized column",
+            ));
         }
         outputs.push(&(sys.c() * &x) + &(sys.d() * u));
         x = &(sys.a() * &x) + &(sys.b() * u);
@@ -82,19 +84,19 @@ pub fn disturbance_impulse_response(
     if let Some(first) = inputs.first_mut() {
         *first = Mat::scalar(1.0);
     }
-    Ok(simulate(&loop_sys, &Mat::zeros(loop_sys.order(), 1), &inputs)?
-        .into_iter()
-        .map(|y| y[(0, 0)])
-        .collect())
+    Ok(
+        simulate(&loop_sys, &Mat::zeros(loop_sys.order(), 1), &inputs)?
+            .into_iter()
+            .map(|y| y[(0, 0)])
+            .collect(),
+    )
 }
 
 /// Peak absolute value of the tail (second half) of a signal — a simple
 /// divergence detector for tests and examples.
 pub fn tail_peak(signal: &[f64]) -> f64 {
     let half = signal.len() / 2;
-    signal[half..]
-        .iter()
-        .fold(0.0f64, |m, &x| m.max(x.abs()))
+    signal[half..].iter().fold(0.0f64, |m, &x| m.max(x.abs()))
 }
 
 #[cfg(test)]

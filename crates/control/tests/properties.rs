@@ -1,8 +1,8 @@
 //! Property-based tests for the control substrate.
 
 use csa_control::{
-    c2d_zoh, c2d_zoh_delayed, design_lqg, discrete_response, jitter_margin, simulate,
-    LqgWeights, StateSpace, TransferFunction,
+    c2d_zoh, c2d_zoh_delayed, design_lqg, discrete_response, jitter_margin, simulate, LqgWeights,
+    StateSpace, TransferFunction,
 };
 use csa_linalg::{spectral_radius, Mat};
 use proptest::prelude::*;

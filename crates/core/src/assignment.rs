@@ -169,8 +169,7 @@ fn backtrack_recurse_budgeted(
             let mut scored: Vec<(f64, usize)> = remaining
                 .iter()
                 .map(|&cand| {
-                    let hp: Vec<usize> =
-                        remaining.iter().copied().filter(|&x| x != cand).collect();
+                    let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
                     stats.checks += 1;
                     (check_task(tasks, cand, &hp).slack, cand)
                 })
@@ -527,7 +526,10 @@ mod tests {
                 "backtracking and exhaustive disagree on feasibility"
             );
         }
-        assert!(solved > 50, "too few solvable sets ({solved}) to be meaningful");
+        assert!(
+            solved > 50,
+            "too few solvable sets ({solved}) to be meaningful"
+        );
     }
 
     #[test]
@@ -558,9 +560,7 @@ mod tests {
         // On an easy set (everything passes round one) the unsafe
         // algorithm performs exactly n checks; worst case n + (n-1) + ...
         let tasks: Vec<ControlTask> = (0..8)
-            .map(|i| {
-                ControlTask::from_parts(i as u32, 1, 1, 1000 + i as u64, 1.0, 1.0).unwrap()
-            })
+            .map(|i| ControlTask::from_parts(i as u32, 1, 1, 1000 + i as u64, 1.0, 1.0).unwrap())
             .collect();
         let out = unsafe_quadratic(&tasks);
         assert!(out.assignment.is_some());

@@ -45,13 +45,10 @@ mod assignment;
 mod sensitivity;
 mod stability;
 
-pub use analysis::{
-    analyze, check_task, is_valid_assignment, PriorityAssignment, TaskVerdict,
-};
+pub use analysis::{analyze, check_task, is_valid_assignment, PriorityAssignment, TaskVerdict};
 pub use anomaly::{
-    find_interference_removal_anomaly, find_period_increase_anomaly,
-    find_priority_raise_anomaly, find_wcet_decrease_anomaly, verify_witness, AnomalyKind,
-    AnomalyWitness,
+    find_interference_removal_anomaly, find_period_increase_anomaly, find_priority_raise_anomaly,
+    find_wcet_decrease_anomaly, verify_witness, AnomalyKind, AnomalyWitness,
 };
 pub use assignment::{
     audsley_opa, backtracking, backtracking_with_budget, backtracking_with_order,

@@ -205,15 +205,19 @@ mod tests {
         // The current configuration is stable, so the answer is at least
         // the current WCET.
         assert!(s.max_stable_cw.unwrap() >= tasks[2].task().c_worst());
-        assert!(verify_sensitivity(&tasks, &pa, 2, s.max_stable_cw.unwrap(), Ticks::new(1)));
+        assert!(verify_sensitivity(
+            &tasks,
+            &pa,
+            2,
+            s.max_stable_cw.unwrap(),
+            Ticks::new(1)
+        ));
     }
 
     #[test]
     fn unstable_baseline_returns_none() {
         // Bound so tight even c_b fails.
-        let tasks = vec![
-            ControlTask::from_parts(0, 5, 5, 20, 1.0, 1e-9).unwrap(),
-        ];
+        let tasks = vec![ControlTask::from_parts(0, 5, 5, 20, 1.0, 1e-9).unwrap()];
         let pa = PriorityAssignment::from_highest_first(&[0]);
         let b = max_stable_wcet_binary(&tasks, &pa, 0, Ticks::new(1));
         assert_eq!(b.max_stable_cw, None);

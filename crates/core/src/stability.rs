@@ -47,7 +47,10 @@ impl StabilityBound {
     /// A bound that every latency/jitter pair satisfies — for tasks whose
     /// plant is insensitive to scheduling at the considered scale.
     pub fn permissive() -> StabilityBound {
-        StabilityBound { a: 1.0, b: f64::MAX }
+        StabilityBound {
+            a: 1.0,
+            b: f64::MAX,
+        }
     }
 
     /// Jitter weight `a >= 1`.

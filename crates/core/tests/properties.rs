@@ -19,23 +19,20 @@ use proptest::prelude::*;
 
 /// Strategy: a small control task set with calibrated-ish bounds.
 fn task_set() -> impl Strategy<Value = Vec<ControlTask>> {
-    proptest::collection::vec(
-        (2u64..40, 2u64..8, 1u64..8, 1.0f64..5.0, 0.3f64..3.0),
-        2..6,
-    )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (period_base, util_div, best_div, a, b_scale))| {
-                let period = period_base * 4;
-                let cw = (period / util_div).max(1);
-                let cb = (cw / best_div).max(1);
-                let b = b_scale * period as f64 * 1e-9;
-                ControlTask::from_parts(i as u32, cb, cw, period, a, b).unwrap()
-            })
-            .collect()
-    })
+    proptest::collection::vec((2u64..40, 2u64..8, 1u64..8, 1.0f64..5.0, 0.3f64..3.0), 2..6)
+        .prop_map(|specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (period_base, util_div, best_div, a, b_scale))| {
+                    let period = period_base * 4;
+                    let cw = (period / util_div).max(1);
+                    let cb = (cw / best_div).max(1);
+                    let b = b_scale * period as f64 * 1e-9;
+                    ControlTask::from_parts(i as u32, cb, cw, period, a, b).unwrap()
+                })
+                .collect()
+        })
 }
 
 proptest! {

@@ -69,11 +69,10 @@ pub fn generate_benchmark<R: Rng + ?Sized>(
             let table: &PlantMargins = &tables[rng.gen_range(0..tables.len())];
             let entry = table.entries[rng.gen_range(0..table.entries.len())];
             let period = Ticks::from_secs_f64(entry.period);
-            let c_worst = Ticks::new(((u * period.get() as f64).round() as u64).max(1))
-                .min(period);
+            let c_worst = Ticks::new(((u * period.get() as f64).round() as u64).max(1)).min(period);
             let ratio = rng.gen_range(r_lo..=r_hi);
-            let c_best = Ticks::new(((ratio * c_worst.get() as f64).round() as u64).max(1))
-                .min(c_worst);
+            let c_best =
+                Ticks::new(((ratio * c_worst.get() as f64).round() as u64).max(1)).min(c_worst);
             let task = Task::new(TaskId::new(i as u32), c_best, c_worst, period)
                 .expect("generated task is valid by construction");
             let bound = StabilityBound::new(entry.a, entry.b)

@@ -2,8 +2,8 @@
 //! Pass `--quick` for reduced scales everywhere.
 
 use csa_experiments::{
-    format_census, format_table1, quick_flag, run_census, run_fig2, run_fig4, run_fig5,
-    run_table1, CensusConfig, Fig2Config, Fig4Config, Fig5Config, Table1Config,
+    format_census, format_table1, quick_flag, run_census, run_fig2, run_fig4, run_fig5, run_table1,
+    CensusConfig, Fig2Config, Fig4Config, Fig5Config, Table1Config,
 };
 
 fn main() {
@@ -13,7 +13,11 @@ fn main() {
         if quick { "quick" } else { "paper" }
     );
 
-    let fig4 = run_fig4(&if quick { Fig4Config::quick() } else { Fig4Config::paper() });
+    let fig4 = run_fig4(&if quick {
+        Fig4Config::quick()
+    } else {
+        Fig4Config::paper()
+    });
     println!("== Fig. 4: stability curves ==");
     for c in &fig4 {
         println!(
@@ -24,7 +28,11 @@ fn main() {
         );
     }
 
-    let fig2 = run_fig2(&if quick { Fig2Config::quick() } else { Fig2Config::paper() });
+    let fig2 = run_fig2(&if quick {
+        Fig2Config::quick()
+    } else {
+        Fig2Config::paper()
+    });
     println!("== Fig. 2: cost vs. period ==");
     for c in &fig2 {
         println!(
@@ -36,11 +44,19 @@ fn main() {
         );
     }
 
-    let t1 = run_table1(&if quick { Table1Config::quick() } else { Table1Config::paper() });
+    let t1 = run_table1(&if quick {
+        Table1Config::quick()
+    } else {
+        Table1Config::paper()
+    });
     println!("== Table I ==");
     println!("{}", format_table1(&t1));
 
-    let fig5 = run_fig5(&if quick { Fig5Config::quick() } else { Fig5Config::paper() });
+    let fig5 = run_fig5(&if quick {
+        Fig5Config::quick()
+    } else {
+        Fig5Config::paper()
+    });
     println!("== Fig. 5: runtime ==");
     for p in &fig5 {
         println!(
@@ -51,7 +67,11 @@ fn main() {
         );
     }
 
-    let census = run_census(&if quick { CensusConfig::quick() } else { CensusConfig::paper() });
+    let census = run_census(&if quick {
+        CensusConfig::quick()
+    } else {
+        CensusConfig::paper()
+    });
     println!("== Census ==");
     println!("{}", format_census(&census));
 }

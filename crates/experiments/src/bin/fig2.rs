@@ -25,9 +25,7 @@ fn main() -> std::io::Result<()> {
         let path = write_csv(
             &format!("fig2_{}.csv", c.plant),
             "period_s,cost",
-            c.samples
-                .iter()
-                .map(|(h, j)| format!("{h:.6},{j:.6e}")),
+            c.samples.iter().map(|(h, j)| format!("{h:.6},{j:.6e}")),
         )?;
         eprintln!("wrote {}", path.display());
     }

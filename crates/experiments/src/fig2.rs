@@ -59,14 +59,17 @@ impl CostCurve {
     /// Whether the curve has an overall increasing trend: the mean cost
     /// over the last decade of periods exceeds the mean over the first.
     pub fn has_increasing_trend(&self) -> bool {
-        let finite: Vec<&(f64, f64)> =
-            self.samples.iter().filter(|(_, c)| c.is_finite()).collect();
+        let finite: Vec<&(f64, f64)> = self.samples.iter().filter(|(_, c)| c.is_finite()).collect();
         if finite.len() < 8 {
             return false;
         }
         let k = finite.len() / 4;
         let head: f64 = finite[..k].iter().map(|(_, c)| c).sum::<f64>() / k as f64;
-        let tail: f64 = finite[finite.len() - k..].iter().map(|(_, c)| c).sum::<f64>() / k as f64;
+        let tail: f64 = finite[finite.len() - k..]
+            .iter()
+            .map(|(_, c)| c)
+            .sum::<f64>()
+            / k as f64;
         tail > head
     }
 

@@ -99,19 +99,17 @@ pub fn margin_tables() -> &'static [PlantMargins] {
                     continue;
                 }
                 match design_lqg(&bp.plant, &bp.weights, h, 0.0) {
-                    Ok(lqg) => {
-                        match stability_curve(&bp.plant, &lqg.controller, h, CURVE_POINTS) {
-                            Ok(curve) if curve.delay_margin() > 0.0 => {
-                                let fit = StabilityFit::from_curve(&curve);
-                                entries.push(MarginEntry {
-                                    period: h,
-                                    a: fit.a,
-                                    b: fit.b,
-                                });
-                            }
-                            _ => {}
+                    Ok(lqg) => match stability_curve(&bp.plant, &lqg.controller, h, CURVE_POINTS) {
+                        Ok(curve) if curve.delay_margin() > 0.0 => {
+                            let fit = StabilityFit::from_curve(&curve);
+                            entries.push(MarginEntry {
+                                period: h,
+                                a: fit.a,
+                                b: fit.b,
+                            });
                         }
-                    }
+                        _ => {}
+                    },
                     Err(_) => {
                         // Pathological or unstabilizable period: skip.
                     }
@@ -140,7 +138,9 @@ mod tests {
         for t in margin_tables() {
             for e in &t.entries {
                 assert!(
-                    super::PERIOD_SERIES.iter().any(|&s| (s - e.period).abs() < 1e-12),
+                    super::PERIOD_SERIES
+                        .iter()
+                        .any(|&s| (s - e.period).abs() < 1e-12),
                     "{}: period {} not in the 1-2-5 series",
                     t.name,
                     e.period

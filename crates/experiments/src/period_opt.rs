@@ -149,7 +149,11 @@ mod tests {
                 cmp.grid.cost,
                 cmp.ternary.cost
             );
-            assert!(cmp.grid.cost.is_finite(), "{}: grid found no finite cost", cmp.plant);
+            assert!(
+                cmp.grid.cost.is_finite(),
+                "{}: grid found no finite cost",
+                cmp.plant
+            );
         }
     }
 

@@ -96,7 +96,11 @@ impl CMat {
         let m = b.cols;
         let mut lu = self.clone();
         let mut x = b.clone();
-        let scale: f64 = self.data.iter().fold(0.0f64, |s, z| s.max(z.abs())).max(1.0);
+        let scale: f64 = self
+            .data
+            .iter()
+            .fold(0.0f64, |s, z| s.max(z.abs()))
+            .max(1.0);
         let tol = scale * f64::EPSILON * (n as f64);
 
         for k in 0..n {

@@ -267,7 +267,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (-3.0, -4.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
             let z = Cplx::new(re, im);
             let s = z.sqrt();
             assert!(close(s * s, z, 1e-12), "sqrt({z}) = {s}");

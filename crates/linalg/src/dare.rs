@@ -216,11 +216,7 @@ fn reduce_cross_terms(a: &Mat, b: &Mat, cost: &StageCost) -> Result<(Mat, Mat)> 
     assert_eq!(a.rows(), b.rows(), "A and B row counts differ");
     assert_eq!(cost.q.rows(), a.rows(), "Q dimension mismatch");
     assert_eq!(cost.r.rows(), b.cols(), "R dimension mismatch");
-    assert_eq!(
-        cost.n.shape(),
-        (a.rows(), b.cols()),
-        "N must be n x m"
-    );
+    assert_eq!(cost.n.shape(), (a.rows(), b.cols()), "N must be n x m");
     let rinv_nt = cost.r.solve(&cost.n.transpose())?; // R^{-1} N'
     let a_red = a - &(b * &rinv_nt);
     let mut q_red = &cost.q - &(&cost.n * &rinv_nt);

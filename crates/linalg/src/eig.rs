@@ -468,13 +468,20 @@ mod tests {
         // Deterministic pseudo-random 8x8.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a = Mat::from_fn(8, 8, |_, _| next());
         let eigs = eigenvalues(&a).unwrap();
         let tr: Cplx = eigs.iter().fold(Cplx::ZERO, |s, &l| s + l);
-        assert!((tr.re - a.trace()).abs() < 1e-8, "{} vs {}", tr.re, a.trace());
+        assert!(
+            (tr.re - a.trace()).abs() < 1e-8,
+            "{} vs {}",
+            tr.re,
+            a.trace()
+        );
         assert!(tr.im.abs() < 1e-8);
         // Determinant = product of eigenvalues.
         let det_e = eigs.iter().fold(Cplx::ONE, |p, &l| p * l);

@@ -314,7 +314,11 @@ mod tests {
         let a = Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
         let b = Mat::col_vec(&[0.0, 1.0]);
         let p = zoh(&a, &b, h).unwrap();
-        assert!(p.phi.max_abs_diff(&Mat::from_rows(&[&[1.0, h], &[0.0, 1.0]])) < 1e-14);
+        assert!(
+            p.phi
+                .max_abs_diff(&Mat::from_rows(&[&[1.0, h], &[0.0, 1.0]]))
+                < 1e-14
+        );
         assert!((p.gamma[(0, 0)] - h * h / 2.0).abs() < 1e-14);
         assert!((p.gamma[(1, 0)] - h).abs() < 1e-14);
     }

@@ -6,8 +6,8 @@
 //! discrete reachability Gramian and its smallest eigenvalue as a
 //! distance-to-unreachability measure.
 
-use crate::error::Result;
 use crate::eig::eigenvalues;
+use crate::error::Result;
 use crate::lyap::dlyap;
 use crate::mat::Mat;
 

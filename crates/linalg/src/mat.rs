@@ -356,7 +356,11 @@ impl Mat {
     ///
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -430,7 +434,11 @@ impl Sub for &Mat {
     ///
     /// Panics if shapes differ.
     fn sub(self, rhs: &Mat) -> Mat {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Mat {
             rows: self.rows,
             cols: self.cols,

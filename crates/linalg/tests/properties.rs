@@ -8,9 +8,8 @@ use proptest::prelude::*;
 
 /// Strategy: a well-scaled n x n matrix with entries in [-limit, limit].
 fn mat_strategy(n: usize, limit: f64) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(-limit..limit, n * n).prop_map(move |v| {
-        Mat::from_fn(n, n, |i, j| v[i * n + j])
-    })
+    proptest::collection::vec(-limit..limit, n * n)
+        .prop_map(move |v| Mat::from_fn(n, n, |i, j| v[i * n + j]))
 }
 
 /// Strategy: a symmetric PSD matrix built as M^T M (scaled down).

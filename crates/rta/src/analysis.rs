@@ -165,7 +165,13 @@ mod tests {
     }
 
     fn tb(id: u32, cb: u64, cw: u64, h: u64) -> Task {
-        Task::new(TaskId::new(id), Ticks::new(cb), Ticks::new(cw), Ticks::new(h)).unwrap()
+        Task::new(
+            TaskId::new(id),
+            Ticks::new(cb),
+            Ticks::new(cw),
+            Ticks::new(h),
+        )
+        .unwrap()
     }
 
     #[test]

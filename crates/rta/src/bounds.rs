@@ -40,11 +40,7 @@ pub fn schedulable_liu_layland(tasks: &[Task]) -> bool {
 /// Hyperbolic bound (Bini & Buttazzo): `prod (U_i + 1) <= 2`. Strictly
 /// dominates Liu & Layland (accepts every set L&L accepts, and more).
 pub fn schedulable_hyperbolic(tasks: &[Task]) -> bool {
-    tasks
-        .iter()
-        .map(|t| t.utilization() + 1.0)
-        .product::<f64>()
-        <= 2.0
+    tasks.iter().map(|t| t.utilization() + 1.0).product::<f64>() <= 2.0
 }
 
 /// Exact jitter-aware worst-case response time: the Eq. 3 recurrence
@@ -104,20 +100,15 @@ pub fn critical_scaling_factor(tasks: &[Task], tolerance: f64) -> f64 {
     let schedulable_at = |alpha: f64| -> bool {
         let mut scaled: Vec<Task> = Vec::with_capacity(tasks.len());
         for t in tasks {
-            let cw = Ticks::new(
-                ((t.c_worst().get() as f64 * alpha).ceil() as u64).max(1),
-            );
+            let cw = Ticks::new(((t.c_worst().get() as f64 * alpha).ceil() as u64).max(1));
             if cw > t.period() {
                 return false;
             }
             let cb = t.c_best().min(cw);
-            scaled.push(
-                Task::new(t.id(), cb, cw, t.period()).expect("scaled task valid"),
-            );
+            scaled.push(Task::new(t.id(), cb, cw, t.period()).expect("scaled task valid"));
         }
-        (0..scaled.len()).all(|i| {
-            wcrt_with_limit(&scaled[i], &scaled[..i], scaled[i].period()).is_some()
-        })
+        (0..scaled.len())
+            .all(|i| wcrt_with_limit(&scaled[i], &scaled[..i], scaled[i].period()).is_some())
     };
 
     if !schedulable_at(1e-9) {
@@ -147,8 +138,8 @@ pub fn critical_scaling_factor(tasks: &[Task], tolerance: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::task::TaskId;
     use crate::analysis::wcrt;
+    use crate::task::TaskId;
 
     fn t(id: u32, c: u64, h: u64) -> Task {
         Task::with_fixed_execution(TaskId::new(id), Ticks::new(c), Ticks::new(h)).unwrap()
@@ -203,8 +194,9 @@ mod tests {
         // Jitter 2 on the interferer pulls an extra release into the
         // window: R = 3 + ceil((R+2)/4): R=4: 3+ceil(6/4)=2 -> 5;
         // R=5: 3+ceil(7/4)=2 -> 5 fixed.
-        let r2 = wcrt_with_release_jitter(&task, Ticks::ZERO, &[(hp, Ticks::new(2))], Ticks::new(30))
-            .unwrap();
+        let r2 =
+            wcrt_with_release_jitter(&task, Ticks::ZERO, &[(hp, Ticks::new(2))], Ticks::new(30))
+                .unwrap();
         assert!(r2 >= r0);
         assert_eq!(r2, Ticks::new(5));
         // Own jitter adds directly.

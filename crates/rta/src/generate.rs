@@ -112,11 +112,10 @@ pub fn generate_task_set<R: Rng + ?Sized>(config: &TaskSetConfig, rng: &mut R) -
         .enumerate()
         .map(|(i, u)| {
             let period = random_period(config.period_range, rng);
-            let c_worst = Ticks::new(((u * period.get() as f64).round() as u64).max(1))
-                .min(period);
+            let c_worst = Ticks::new(((u * period.get() as f64).round() as u64).max(1)).min(period);
             let ratio = rng.gen_range(r_lo..=r_hi);
-            let c_best = Ticks::new(((ratio * c_worst.get() as f64).round() as u64).max(1))
-                .min(c_worst);
+            let c_best =
+                Ticks::new(((ratio * c_worst.get() as f64).round() as u64).max(1)).min(c_worst);
             Task::new(TaskId::new(i as u32), c_best, c_worst, period)
                 .expect("generated task must satisfy the model invariants")
         })

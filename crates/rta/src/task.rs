@@ -58,10 +58,9 @@ impl fmt::Display for InvalidTask {
             InvalidTask::ZeroExecutionTime => {
                 write!(f, "best-case execution time must be positive")
             }
-            InvalidTask::BestExceedsWorst => write!(
-                f,
-                "best-case execution time must not exceed the worst case"
-            ),
+            InvalidTask::BestExceedsWorst => {
+                write!(f, "best-case execution time must not exceed the worst case")
+            }
             InvalidTask::WorstExceedsPeriod => {
                 write!(f, "worst-case execution time must not exceed the period")
             }

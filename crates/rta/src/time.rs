@@ -302,10 +302,7 @@ mod tests {
 
     #[test]
     fn lcm_behaviour() {
-        assert_eq!(
-            Ticks::new(6).lcm(Ticks::new(4)),
-            Some(Ticks::new(12))
-        );
+        assert_eq!(Ticks::new(6).lcm(Ticks::new(4)), Some(Ticks::new(12)));
         assert_eq!(Ticks::new(0).lcm(Ticks::new(4)), Some(Ticks::ZERO));
         // Overflow detected.
         assert_eq!(Ticks::new(u64::MAX - 1).lcm(Ticks::new(u64::MAX - 2)), None);

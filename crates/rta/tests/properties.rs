@@ -8,7 +8,7 @@
 //! "fix" it here.
 
 use csa_rta::{
-    bcrt_from, response_bounds, uunifast, utilization, wcrt, wcrt_with_limit, Task, TaskId, Ticks,
+    bcrt_from, response_bounds, utilization, uunifast, wcrt, wcrt_with_limit, Task, TaskId, Ticks,
 };
 use proptest::prelude::*;
 

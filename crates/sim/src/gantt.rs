@@ -65,7 +65,12 @@ pub fn render_gantt(
                 _ => {}
             }
         }
-        let _ = writeln!(out, "{:<8} {}", id.to_string(), row.iter().collect::<String>());
+        let _ = writeln!(
+            out,
+            "{:<8} {}",
+            id.to_string(),
+            row.iter().collect::<String>()
+        );
     }
     let _ = writeln!(
         out,
@@ -88,7 +93,8 @@ mod tests {
     fn renders_expected_pattern() {
         // Single task c=2 h=4 over horizon 8, width 8: executes cells
         // 0-1 and 4-5.
-        let task = Task::with_fixed_execution(TaskId::new(0), Ticks::new(2), Ticks::new(4)).unwrap();
+        let task =
+            Task::with_fixed_execution(TaskId::new(0), Ticks::new(2), Ticks::new(4)).unwrap();
         let out = Simulator::new(vec![SimTask::new(task, 1)])
             .record_trace(true)
             .run(Ticks::new(8), &mut WorstCasePolicy);

@@ -84,13 +84,7 @@ mod tests {
     use csa_rta::TaskId;
 
     fn task() -> Task {
-        Task::new(
-            TaskId::new(0),
-            Ticks::new(2),
-            Ticks::new(8),
-            Ticks::new(20),
-        )
-        .unwrap()
+        Task::new(TaskId::new(0), Ticks::new(2), Ticks::new(8), Ticks::new(20)).unwrap()
     }
 
     #[test]

@@ -171,7 +171,8 @@ impl Simulator {
         for (i, a) in tasks.iter().enumerate() {
             for b in &tasks[i + 1..] {
                 assert_ne!(
-                    a.priority, b.priority,
+                    a.priority,
+                    b.priority,
                     "priorities must be unique ({} vs {})",
                     a.task.id(),
                     b.task.id()
@@ -243,14 +244,15 @@ impl Simulator {
             let running = ready
                 .iter()
                 .enumerate()
-                .max_by_key(|(_, j)| (self.tasks[j.task_index].priority, std::cmp::Reverse(j.release)))
+                .max_by_key(|(_, j)| {
+                    (
+                        self.tasks[j.task_index].priority,
+                        std::cmp::Reverse(j.release),
+                    )
+                })
                 .map(|(idx, _)| idx);
 
-            let next_rel = next_release
-                .iter()
-                .copied()
-                .filter(|&r| r < horizon)
-                .min();
+            let next_rel = next_release.iter().copied().filter(|&r| r < horizon).min();
 
             let Some(run_idx) = running else {
                 // Idle: jump to the next release, or stop.
@@ -350,7 +352,13 @@ mod tests {
     }
 
     fn tb(id: u32, cb: u64, cw: u64, h: u64) -> Task {
-        Task::new(TaskId::new(id), Ticks::new(cb), Ticks::new(cw), Ticks::new(h)).unwrap()
+        Task::new(
+            TaskId::new(id),
+            Ticks::new(cb),
+            Ticks::new(cw),
+            Ticks::new(h),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -435,7 +443,9 @@ mod tests {
     fn offset_delays_first_release() {
         let task = t(0, 1, 10);
         let sim = Simulator::new(vec![SimTask::with_offset(task, 1, Ticks::new(5))]);
-        let out = sim.record_trace(true).run(Ticks::new(30), &mut BestCasePolicy);
+        let out = sim
+            .record_trace(true)
+            .run(Ticks::new(30), &mut BestCasePolicy);
         assert_eq!(out.stats[0].completed, 3); // releases at 5, 15, 25
         match out.trace[0] {
             TraceEvent::Release { at, .. } => assert_eq!(at, Ticks::new(5)),
@@ -509,9 +519,11 @@ mod tests {
             .trace
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Completion { at, response, task_id } if *task_id == TaskId::new(1) => {
-                    Some((*at, *response))
-                }
+                TraceEvent::Completion {
+                    at,
+                    response,
+                    task_id,
+                } if *task_id == TaskId::new(1) => Some((*at, *response)),
                 _ => None,
             })
             .collect();

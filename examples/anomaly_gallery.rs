@@ -105,7 +105,9 @@ fn main() {
         if removal_found < 2 {
             if let Some(w) = find_interference_removal_anomaly(&tasks, &pa) {
                 removal_found += 1;
-                println!("== interference-removal anomaly #{removal_found} (set {sets_examined}) ==");
+                println!(
+                    "== interference-removal anomaly #{removal_found} (set {sets_examined}) =="
+                );
                 describe(&tasks, &pa, &w);
             }
         }

@@ -19,7 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (here: invented but realistic numbers).
     let setups = [
         ("dc_servo", plants::dc_servo()?, 1e-1, 0.006, 0.8e-3, 1.2e-3),
-        ("oscillator", plants::oscillator(10.0, 0.1)?, 1e-1, 0.020, 2.0e-3, 3.5e-3),
+        (
+            "oscillator",
+            plants::oscillator(10.0, 0.1)?,
+            1e-1,
+            0.020,
+            2.0e-3,
+            3.5e-3,
+        ),
         ("pendulum", plants::pendulum()?, 1e-4, 0.025, 3.0e-3, 6.0e-3),
     ];
 
@@ -59,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Exact per-task verdicts under the chosen priorities.
-    println!("\n{:<12} {:>5} {:>10} {:>10} {:>10} {:>8}", "task", "prio", "L (ms)", "J (ms)", "slack(ms)", "stable");
+    println!(
+        "\n{:<12} {:>5} {:>10} {:>10} {:>10} {:>8}",
+        "task", "prio", "L (ms)", "J (ms)", "slack(ms)", "stable"
+    );
     for (i, v) in analyze(&tasks, &pa).iter().enumerate() {
         let b = v.bounds.expect("assignment is valid, bounds exist");
         println!(

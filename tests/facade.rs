@@ -1,0 +1,48 @@
+//! Smoke test for the `sched_anomalies` façade re-exports.
+//!
+//! Exercises exactly the paths the crate-level doc example shows
+//! (`sched_anomalies::{core, rta, control, linalg, sim, experiments}`),
+//! so the doctest and the public API cannot silently drift apart.
+
+use sched_anomalies::core::{backtracking, is_valid_assignment, ControlTask};
+
+#[test]
+fn doc_example_paths_resolve_and_run() -> Result<(), sched_anomalies::rta::InvalidTask> {
+    let tasks = vec![
+        ControlTask::from_parts(0, 500, 1_000, 10_000, 1.2, 4e-6)?,
+        ControlTask::from_parts(1, 800, 2_000, 20_000, 1.5, 9e-6)?,
+    ];
+    let pa = backtracking(&tasks).assignment.expect("feasible");
+    assert!(is_valid_assignment(&tasks, &pa));
+    Ok(())
+}
+
+#[test]
+fn every_reexported_crate_is_reachable() {
+    // linalg
+    let m = sched_anomalies::linalg::Mat::identity(3);
+    assert_eq!(m.trace(), 3.0);
+
+    // control
+    let plant = sched_anomalies::control::plants::dc_servo().expect("dc servo");
+    let disc = sched_anomalies::control::c2d_zoh(&plant, 0.01).expect("discretize");
+    assert_eq!(disc.order(), plant.order());
+
+    // rta
+    let task = sched_anomalies::rta::Task::new(
+        sched_anomalies::rta::TaskId::new(0),
+        sched_anomalies::rta::Ticks::new(10),
+        sched_anomalies::rta::Ticks::new(10),
+        sched_anomalies::rta::Ticks::new(100),
+    )
+    .expect("valid task");
+    let bounds = sched_anomalies::rta::response_bounds(&task, &[]).expect("schedulable");
+    assert_eq!(bounds.wcrt.get(), 10);
+
+    // sim is re-exported (type path must resolve).
+    let _policy: Option<sched_anomalies::sim::UniformPolicy> = None;
+
+    // experiments
+    let cfg = sched_anomalies::experiments::BenchmarkConfig::new(4);
+    assert_eq!(cfg.n, 4);
+}

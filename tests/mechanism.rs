@@ -71,12 +71,7 @@ fn no_anomalies_with_unit_slope() {
         // Rebuild with a = 1 while keeping b.
         let tasks: Vec<ControlTask> = raw
             .iter()
-            .map(|t| {
-                ControlTask::new(
-                    *t.task(),
-                    StabilityBound::new(1.0, t.bound().b()).unwrap(),
-                )
-            })
+            .map(|t| ControlTask::new(*t.task(), StabilityBound::new(1.0, t.bound().b()).unwrap()))
             .collect();
         let mut order: Vec<usize> = (0..tasks.len()).collect();
         order.sort_by_key(|&i| tasks[i].task().period());
@@ -103,8 +98,7 @@ fn schedulability_is_sustainable_under_wcet_reduction() {
         let tasks = generate_benchmark(&BenchmarkConfig::new(5), &mut rng);
         let mut sched: Vec<Task> = tasks.iter().map(|t| *t.task()).collect();
         sched.sort_by_key(|t| t.period());
-        let all_schedulable =
-            (0..sched.len()).all(|i| wcrt(&sched[i], &sched[..i]).is_some());
+        let all_schedulable = (0..sched.len()).all(|i| wcrt(&sched[i], &sched[..i]).is_some());
         if !all_schedulable {
             continue;
         }

@@ -123,11 +123,7 @@ fn worst_case_policy_attains_wcrt_on_benchmark() {
         .collect();
     // Synchronous release + worst-case execution: first job of each task
     // attains its WCRT exactly.
-    let horizon = tasks
-        .iter()
-        .map(|t| t.task().period())
-        .max()
-        .unwrap();
+    let horizon = tasks.iter().map(|t| t.task().period()).max().unwrap();
     let out = Simulator::new(sim_tasks)
         .record_trace(true)
         .run(horizon, &mut WorstCasePolicy);

@@ -2,9 +2,7 @@
 //! monotonicity-exploiting binary search vs. the safe exhaustive scan in
 //! WCET sensitivity analysis.
 
-use csa_core::{
-    backtracking, max_stable_wcet_binary, max_stable_wcet_scan, verify_sensitivity,
-};
+use csa_core::{backtracking, max_stable_wcet_binary, max_stable_wcet_scan, verify_sensitivity};
 use csa_experiments::{generate_benchmark, BenchmarkConfig};
 use csa_rta::Ticks;
 use rand::rngs::StdRng;

@@ -20,9 +20,7 @@ fn factorial_instance(n: usize) -> Vec<ControlTask> {
     for i in n - 2..n {
         // Top-only: stable alone (L + aJ = c = 100 ns <= b = 100 ns),
         // destabilized by any interference (Rw grows => J grows).
-        tasks.push(
-            ControlTask::from_parts(i as u32, 100, 100, 1_000_000, 1.0, 100e-9).unwrap(),
-        );
+        tasks.push(ControlTask::from_parts(i as u32, 100, 100, 1_000_000, 1.0, 100e-9).unwrap());
     }
     tasks
 }
@@ -62,8 +60,7 @@ fn budget_tames_the_blow_up() {
     // Unbounded: very expensive. Budgeted: stops at the cap and reports
     // the truncation honestly.
     let cap = 500;
-    let (outcome, truncated) =
-        backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+    let (outcome, truncated) = backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
     assert!(truncated, "the budget must bite on this instance");
     assert!(outcome.assignment.is_none());
     assert!(outcome.stats.checks <= cap + 1);
@@ -78,8 +75,7 @@ fn budget_does_not_disturb_easy_instances() {
         ControlTask::from_parts(1, 2, 2, 6, 1.0, 1e-8).unwrap(),
         ControlTask::from_parts(2, 3, 3, 10, 1.0, 1.2e-8).unwrap(),
     ];
-    let (bounded, truncated) =
-        backtracking_with_budget(&tasks, CandidateOrder::Input, 10_000);
+    let (bounded, truncated) = backtracking_with_budget(&tasks, CandidateOrder::Input, 10_000);
     assert!(!truncated);
     let unbounded = csa_core::backtracking(&tasks);
     assert_eq!(bounded.assignment, unbounded.assignment);

@@ -1,0 +1,407 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate used by this
+//! workspace's property-based test suites.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! reimplements the pieces the tests rely on:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_filter`, and `prop_filter_map` combinators;
+//! * range strategies (`0.5..2.0`, `1u64..30`, ...), tuple strategies,
+//!   [`strategy::Just`], [`any`], and [`collection::vec`];
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`
+//!   header), plus [`prop_assert!`] and [`prop_assert_eq!`].
+//!   (`prop_assume!` is deliberately omitted: it cannot be implemented
+//!   with upstream's reject-the-whole-case semantics in this inline
+//!   runner, and nothing in the workspace uses it.)
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test seed, and failing cases are reported via ordinary panics with
+//! no shrinking. That is sufficient for CI-style pass/fail property
+//! checking, which is how the workspace uses it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use core::marker::PhantomData;
+    use core::ops::{Range, RangeInclusive};
+    use rand::rngs::StdRng;
+    use rand::{Rng, Standard};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// `generate` returns `None` when a filter rejects the draw; the runner
+    /// then retries with fresh randomness.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value, or `None` if the draw was filtered out.
+        fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then runs the strategy `f`
+        /// builds from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keeps only values for which `f` returns `true`.
+        fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        /// Maps values through `f`, rejecting draws where `f` returns `None`.
+        fn prop_filter_map<O, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<T::Value> {
+            let mid = self.inner.generate(rng)?;
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            self.inner.generate(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> Option<O> {
+            self.inner.generate(rng).and_then(&self.f)
+        }
+    }
+
+    /// A strategy that always yields a clone of the same value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// A strategy over the full "standard" distribution of `T`; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Generates any value of `T` (uniform over the type's standard
+    /// distribution).
+    pub fn any<T>() -> Any<T>
+    where
+        Standard: rand::Distribution<T>,
+    {
+        Any(PhantomData)
+    }
+
+    impl<T> Strategy for Any<T>
+    where
+        Standard: rand::Distribution<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            Some(rng.gen())
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                        Some(rng.gen_range(self.clone()))
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                        Some(rng.gen_range(self.clone()))
+                    }
+                }
+            )*
+        };
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use core::ops::{Range, RangeInclusive};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Conversion from the `size` argument of [`vec`] to length bounds.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty vec size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A strategy producing `Vec`s of `element` draws with a length drawn
+    /// from `size` (a fixed `usize` or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface mirrored from upstream `proptest`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[doc(hidden)]
+pub fn __fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Defines property tests: each `fn name(x in strategy, ..) { body }` item
+/// becomes a `#[test]` that runs `body` over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        $crate::__fnv(stringify!($name).as_bytes()),
+                    );
+                let mut __cases: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __config.cases.saturating_mul(100).saturating_add(100);
+                while __cases < __config.cases && __attempts < __max_attempts {
+                    __attempts += 1;
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        ) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => continue,
+                        };
+                    )*
+                    $body
+                    __cases += 1;
+                }
+                assert!(
+                    __cases == __config.cases,
+                    "proptest: only {__cases} of {} cases survived filtering/assumptions \
+                     after {__attempts} attempts (strategy rejects too much)",
+                    __config.cases
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1u64..10, v in crate::collection::vec(-1.0..1.0f64, 0..5), s in any::<u64>()) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|e| (-1.0..1.0).contains(e)));
+            let _ = s;
+        }
+
+        #[test]
+        fn combinators_compose(n in (2usize..5).prop_map(|n| n * 2)) {
+            prop_assert!(n % 2 == 0 && (4..10).contains(&n));
+        }
+
+        #[test]
+        fn filter_map_retries(v in (0u64..100).prop_filter_map("even only", |v| (v % 2 == 0).then_some(v))) {
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+}
