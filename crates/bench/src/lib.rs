@@ -7,22 +7,27 @@
 #![forbid(unsafe_code)]
 
 use csa_core::ControlTask;
-use csa_experiments::{generate_benchmark, BenchmarkConfig};
+use csa_experiments::{generate_benchmark, instance_seed, BenchmarkConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A deterministic benchmark task set of size `n` (seeded by `n` and
-/// `seed`), drawn from the paper's §V distribution.
+/// `seed` through the drivers' shared [`instance_seed`] derivation),
+/// drawn from the paper's §V distribution.
 pub fn fixed_benchmark(n: usize, seed: u64) -> Vec<ControlTask> {
-    let mut rng = StdRng::seed_from_u64(seed ^ ((n as u64) << 16));
+    let mut rng = StdRng::seed_from_u64(instance_seed(seed, n, 0));
     generate_benchmark(&BenchmarkConfig::new(n), &mut rng)
 }
 
 /// A batch of deterministic benchmarks (for averaging inside one
-/// Criterion iteration).
+/// Criterion iteration; instance `k` is seeded by
+/// [`instance_seed`]`(seed, n, k)`, exactly like the experiment
+/// drivers').
 pub fn fixed_benchmarks(n: usize, count: usize, seed: u64) -> Vec<Vec<ControlTask>> {
-    let mut rng = StdRng::seed_from_u64(seed ^ ((n as u64) << 16));
     (0..count)
-        .map(|_| generate_benchmark(&BenchmarkConfig::new(n), &mut rng))
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(instance_seed(seed, n, k));
+            generate_benchmark(&BenchmarkConfig::new(n), &mut rng)
+        })
         .collect()
 }

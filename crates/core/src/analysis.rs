@@ -1,7 +1,9 @@
 //! Priority assignments and exact stability analysis of a control task set.
 
+use crate::fxhash::FxBuildHasher;
 use crate::stability::ControlTask;
-use csa_rta::{response_bounds, ResponseBounds, Task};
+use csa_rta::{ResponseBounds, RtaScratch};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A complete priority assignment over a task set, stored as priority
@@ -78,9 +80,15 @@ impl PriorityAssignment {
 
     /// Indices of tasks with higher priority than task `i`.
     pub fn hp_indices(&self, i: usize) -> Vec<usize> {
-        (0..self.levels.len())
-            .filter(|&j| self.levels[j] > self.levels[i])
-            .collect()
+        self.hp_iter(i).collect()
+    }
+
+    /// Iterator over the indices of tasks with higher priority than task
+    /// `i` (ascending; allocation-free counterpart of
+    /// [`PriorityAssignment::hp_indices`]).
+    pub fn hp_iter(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let level = self.levels[i];
+        (0..self.levels.len()).filter(move |&j| self.levels[j] > level)
     }
 
     /// Returns a copy with the priorities of tasks `i` and `j` swapped.
@@ -117,21 +125,14 @@ pub struct TaskVerdict {
     pub slack: f64,
 }
 
-/// Collects the higher-priority scheduling tasks of `i` under `hp_idx`.
-fn gather(tasks: &[ControlTask], hp_idx: &[usize]) -> Vec<Task> {
-    hp_idx.iter().map(|&j| *tasks[j].task()).collect()
-}
-
-/// Exact stability check of task `i` against an explicit higher-priority
-/// index set — the primitive every assignment algorithm calls
-/// (Eqs. 2–5).
-pub fn check_task(tasks: &[ControlTask], i: usize, hp_idx: &[usize]) -> TaskVerdict {
-    let hp = gather(tasks, hp_idx);
-    match response_bounds(tasks[i].task(), &hp) {
+/// Builds the verdict of `tasks[i]` from its (optional) response bounds.
+#[inline]
+pub(crate) fn verdict_from(task: &ControlTask, rb: Option<ResponseBounds>) -> TaskVerdict {
+    match rb {
         Some(rb) => TaskVerdict {
             bounds: Some(rb),
-            stable: tasks[i].stable_with(&rb),
-            slack: tasks[i].bound().slack(rb.latency(), rb.jitter()),
+            stable: task.stable_with(&rb),
+            slack: task.bound().slack(rb.latency(), rb.jitter()),
         },
         None => TaskVerdict {
             bounds: None,
@@ -141,6 +142,19 @@ pub fn check_task(tasks: &[ControlTask], i: usize, hp_idx: &[usize]) -> TaskVerd
     }
 }
 
+/// Exact stability check of task `i` against an explicit higher-priority
+/// index set — the primitive every assignment algorithm calls
+/// (Eqs. 2–5).
+///
+/// One-shot convenience; repeated checks over the same task slice should
+/// go through a [`StabilityChecker`], which reuses its scratch buffers
+/// (and, for sets of up to 64 tasks, memoizes verdicts).
+pub fn check_task(tasks: &[ControlTask], i: usize, hp_idx: &[usize]) -> TaskVerdict {
+    let mut scratch = RtaScratch::with_capacity(hp_idx.len());
+    let rb = scratch.response_bounds(tasks[i].task(), hp_idx.iter().map(|&j| tasks[j].task()));
+    verdict_from(&tasks[i], rb)
+}
+
 /// Analyzes every task of the set under a complete assignment.
 ///
 /// # Panics
@@ -148,9 +162,215 @@ pub fn check_task(tasks: &[ControlTask], i: usize, hp_idx: &[usize]) -> TaskVerd
 /// Panics if `assignment.len() != tasks.len()`.
 pub fn analyze(tasks: &[ControlTask], assignment: &PriorityAssignment) -> Vec<TaskVerdict> {
     assert_eq!(tasks.len(), assignment.len(), "assignment size mismatch");
+    let mut scratch = RtaScratch::with_capacity(tasks.len());
     (0..tasks.len())
-        .map(|i| check_task(tasks, i, &assignment.hp_indices(i)))
+        .map(|i| {
+            let rb = scratch.response_bounds(
+                tasks[i].task(),
+                assignment.hp_iter(i).map(|j| tasks[j].task()),
+            );
+            verdict_from(&tasks[i], rb)
+        })
         .collect()
+}
+
+/// Largest task-set size for which [`StabilityChecker`] memoizes
+/// verdicts (the remaining-set bitmask must fit in a `u64`); larger sets
+/// still get the zero-allocation scratch path, just uncached.
+pub const MEMO_MAX_TASKS: usize = 64;
+
+/// Ascending iterator over set bit positions.
+pub(crate) struct BitIter(pub(crate) u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+}
+
+/// A reusable, optionally memoizing stability-check engine over one task
+/// slice — the workhorse behind every assignment algorithm.
+///
+/// * **Zero-allocation**: response-time fixed points run on an internal
+///   [`RtaScratch`], so a check performs no heap allocation once the
+///   buffers are warm.
+/// * **Memoized**: for sets of up to [`MEMO_MAX_TASKS`] tasks, verdicts
+///   are cached under the key `(candidate, higher-priority bitmask)`.
+///   A backtracking search that revisits the same `(task, remaining
+///   set)` state never recomputes the fixed points; the checker tracks
+///   both the *logical* number of checks requested and the *computed*
+///   number that actually ran.
+///
+/// # Examples
+///
+/// ```
+/// use csa_core::{ControlTask, StabilityChecker};
+///
+/// # fn main() -> Result<(), csa_rta::InvalidTask> {
+/// let tasks = vec![
+///     ControlTask::from_parts(0, 1, 1, 4, 1.0, 1e-8)?,
+///     ControlTask::from_parts(1, 2, 2, 6, 1.0, 1e-8)?,
+/// ];
+/// let mut checker = StabilityChecker::new(&tasks);
+/// let first = checker.check(1, &[0]);
+/// let again = checker.check(1, &[0]); // cache hit: fixed points not rerun
+/// assert_eq!(first, again);
+/// assert_eq!(checker.logical_checks(), 2);
+/// assert_eq!(checker.computed_checks(), 1);
+/// assert_eq!(checker.cache_hits(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StabilityChecker<'a> {
+    tasks: &'a [ControlTask],
+    scratch: RtaScratch,
+    memo: Option<HashMap<(u32, u64), TaskVerdict, FxBuildHasher>>,
+    logical: u64,
+    computed: u64,
+}
+
+impl<'a> StabilityChecker<'a> {
+    /// Creates a checker over `tasks`, memoized when the set has at most
+    /// [`MEMO_MAX_TASKS`] tasks.
+    pub fn new(tasks: &'a [ControlTask]) -> StabilityChecker<'a> {
+        let memo = (tasks.len() <= MEMO_MAX_TASKS).then(HashMap::default);
+        StabilityChecker {
+            tasks,
+            scratch: RtaScratch::with_capacity(tasks.len()),
+            memo,
+            logical: 0,
+            computed: 0,
+        }
+    }
+
+    /// Creates a checker that never caches (still allocation-free) — the
+    /// reference point for the memoization differential tests.
+    pub fn uncached(tasks: &'a [ControlTask]) -> StabilityChecker<'a> {
+        StabilityChecker {
+            tasks,
+            scratch: RtaScratch::with_capacity(tasks.len()),
+            memo: None,
+            logical: 0,
+            computed: 0,
+        }
+    }
+
+    /// The task slice under analysis.
+    pub fn tasks(&self) -> &'a [ControlTask] {
+        self.tasks
+    }
+
+    /// Number of tasks in the set.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the task set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// `true` when verdicts are being memoized (set fits in the bitmask).
+    pub fn memoized(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Bitmask selecting every task of the set (for [`Self::check_mask`]
+    /// callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has more than [`MEMO_MAX_TASKS`] tasks.
+    pub fn full_mask(&self) -> u64 {
+        let n = self.tasks.len();
+        assert!(
+            n <= MEMO_MAX_TASKS,
+            "bitmasks require a set of at most {MEMO_MAX_TASKS} tasks"
+        );
+        if n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// Checks task `i` against the higher-priority index set `hp_idx`
+    /// (set semantics: order and duplicates are irrelevant to the
+    /// verdict; duplicates would corrupt the memo key, so pass sets).
+    pub fn check(&mut self, i: usize, hp_idx: &[usize]) -> TaskVerdict {
+        if self.memo.is_some() {
+            let mask = hp_idx.iter().fold(0u64, |m, &j| m | (1u64 << j));
+            self.check_mask(i, mask)
+        } else {
+            self.logical += 1;
+            self.computed += 1;
+            let tasks = self.tasks;
+            let rb = self
+                .scratch
+                .response_bounds(tasks[i].task(), hp_idx.iter().map(|&j| tasks[j].task()));
+            verdict_from(&tasks[i], rb)
+        }
+    }
+
+    /// Checks task `i` against the higher-priority set given as a
+    /// bitmask over task indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has more than [`MEMO_MAX_TASKS`] tasks (bitmask
+    /// checks are only available on memo-capable sets) or if the mask
+    /// selects bit `i` itself.
+    pub fn check_mask(&mut self, i: usize, hp_mask: u64) -> TaskVerdict {
+        assert!(
+            self.tasks.len() <= MEMO_MAX_TASKS,
+            "bitmask checks require a set of at most {MEMO_MAX_TASKS} tasks"
+        );
+        assert!(
+            hp_mask & (1u64 << i) == 0,
+            "task {i} cannot be in its own higher-priority set"
+        );
+        self.logical += 1;
+        let key = (i as u32, hp_mask);
+        if let Some(memo) = self.memo.as_ref() {
+            if let Some(&v) = memo.get(&key) {
+                return v;
+            }
+        }
+        self.computed += 1;
+        let tasks = self.tasks;
+        let rb = self
+            .scratch
+            .response_bounds(tasks[i].task(), BitIter(hp_mask).map(|j| tasks[j].task()));
+        let v = verdict_from(&tasks[i], rb);
+        if let Some(memo) = self.memo.as_mut() {
+            memo.insert(key, v);
+        }
+        v
+    }
+
+    /// Total checks requested (the paper's work metric, identical with
+    /// and without memoization).
+    pub fn logical_checks(&self) -> u64 {
+        self.logical
+    }
+
+    /// Checks whose fixed points actually ran (memo misses).
+    pub fn computed_checks(&self) -> u64 {
+        self.computed
+    }
+
+    /// Checks answered from the memo table.
+    pub fn cache_hits(&self) -> u64 {
+        self.logical - self.computed
+    }
 }
 
 /// `true` when every plant in the set is stable under the assignment —

@@ -18,17 +18,39 @@
 //!   under anomalies (may fail although a valid assignment exists).
 //! * [`exhaustive`] — tries every permutation; the ground truth for small
 //!   sets.
+//!
+//! # Execution engine
+//!
+//! All four run on a [`StabilityChecker`]: response-time fixed points on
+//! a reusable scratch (zero heap allocation per check) and, for sets of
+//! up to [`MEMO_MAX_TASKS`](crate::MEMO_MAX_TASKS) tasks, a memo table
+//! keyed by `(candidate, remaining-set bitmask)` so a stability check
+//! revisited across backtracks is never recomputed. The memo changes
+//! *nothing observable* except wall-clock time and
+//! [`AssignmentStats::cache_hits`]: [`AssignmentStats::checks`] keeps
+//! counting *logical* checks exactly as the unmemoized search would (the
+//! paper's work metric), and assignments, feasibility and backtrack
+//! counts are bit-identical to the retained [`reference`]
+//! implementations — a property the `csa-core` test suite enforces on
+//! random task sets.
 
-use crate::analysis::{check_task, PriorityAssignment};
+use crate::analysis::{check_task, BitIter, PriorityAssignment, StabilityChecker, MEMO_MAX_TASKS};
 use crate::stability::ControlTask;
 
 /// Instrumentation counters for an assignment run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AssignmentStats {
-    /// Number of exact stability checks performed (the dominant cost).
+    /// Number of *logical* exact stability checks performed (the
+    /// dominant cost; identical with and without memoization — Fig. 5 /
+    /// Table I report this). The number actually *computed* is
+    /// `checks - cache_hits`.
     pub checks: u64,
     /// Number of backtracks (Algorithm 1 only; 0 for the others).
     pub backtracks: u64,
+    /// Logical checks answered from the memo table instead of rerunning
+    /// the response-time fixed points (0 for the [`reference`]
+    /// implementations and for sets too large to memoize).
+    pub cache_hits: u64,
 }
 
 /// Outcome of an assignment algorithm.
@@ -51,6 +73,23 @@ pub enum CandidateOrder {
     /// Try the task with the largest stability slack first — a greedy
     /// heuristic that tends to reduce backtracking.
     MaxSlackFirst,
+}
+
+/// Sorts `(slack, candidate)` pairs by slack, largest first, keeping the
+/// incoming order on ties (stable sort). NaN-safe by `f64::total_cmp`: a
+/// NaN slack orders above `+inf`, and the callers' `slack >= 0.0`
+/// stability filter then rejects it, so a NaN candidate can never be
+/// committed (and the sort itself can never panic, unlike the former
+/// `partial_cmp(..).unwrap()`).
+fn order_by_slack_desc(scored: &mut [(f64, usize)]) {
+    scored.sort_by(|x, y| y.0.total_cmp(&x.0));
+}
+
+/// `true` when a scored candidate passes the stability filter (rejects
+/// negative and NaN slacks alike).
+#[inline]
+fn slack_admits(slack: f64) -> bool {
+    slack >= 0.0
 }
 
 /// The paper's **Algorithm 1**: backtracking priority assignment.
@@ -95,7 +134,8 @@ pub fn backtracking_with_order(tasks: &[ControlTask], order: CandidateOrder) -> 
 /// a deployment that must bound its design-time latency caps the number
 /// of exact stability checks. Returns the outcome plus a flag telling
 /// whether the search was cut short — a truncated `None` means
-/// "unknown", not "infeasible".
+/// "unknown", not "infeasible". The budget counts *logical* checks, so
+/// memoization does not move the truncation point.
 ///
 /// # Examples
 ///
@@ -120,19 +160,30 @@ pub fn backtracking_with_budget(
     max_checks: u64,
 ) -> (AssignmentOutcome, bool) {
     let n = tasks.len();
-    let mut stats = AssignmentStats::default();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
-    let mut truncated = false;
-    let found = backtrack_recurse_budgeted(
-        tasks,
+    if n > MEMO_MAX_TASKS {
+        // The remaining-set bitmask no longer fits: run the uncached
+        // reference search (identical semantics, per-check allocation).
+        return reference::backtracking_with_budget(tasks, order, max_checks);
+    }
+    let mut checker = StabilityChecker::new(tasks);
+    let full = checker.full_mask();
+    let mut search = BacktrackSearch {
+        checker: &mut checker,
         order,
-        &mut remaining,
-        &mut bottom_up,
-        &mut stats,
+        remaining: (0..n).collect(),
+        bottom_up: Vec::with_capacity(n),
+        stats: AssignmentStats::default(),
         max_checks,
-        &mut truncated,
-    );
+        truncated: false,
+    };
+    let found = search.recurse(full);
+    let BacktrackSearch {
+        bottom_up,
+        mut stats,
+        truncated,
+        ..
+    } = search;
+    stats.cache_hits = checker.cache_hits();
     (
         AssignmentOutcome {
             assignment: found.then(|| PriorityAssignment::from_lowest_first(&bottom_up)),
@@ -142,81 +193,110 @@ pub fn backtracking_with_budget(
     )
 }
 
-fn backtrack_recurse_budgeted(
-    tasks: &[ControlTask],
+/// State of one memoized backtracking run (Algorithm 1).
+///
+/// `remaining` mirrors the remaining-set bitmask as a vector mutated
+/// exactly like the reference implementation's (swap-remove on descend,
+/// push on backtrack) because the [`CandidateOrder::MaxSlackFirst`]
+/// stable sort breaks slack ties by that vector's incidental order — and
+/// the memoized search must replay the reference search bit for bit.
+struct BacktrackSearch<'c, 'a> {
+    checker: &'c mut StabilityChecker<'a>,
     order: CandidateOrder,
-    remaining: &mut Vec<usize>,
-    bottom_up: &mut Vec<usize>,
-    stats: &mut AssignmentStats,
+    remaining: Vec<usize>,
+    bottom_up: Vec<usize>,
+    stats: AssignmentStats,
     max_checks: u64,
-    truncated: &mut bool,
-) -> bool {
-    if remaining.is_empty() {
-        return true;
-    }
-    if stats.checks >= max_checks {
-        *truncated = true;
-        return false;
-    }
-    // Determine the candidate evaluation order for this level.
-    let candidates: Vec<usize> = match order {
-        CandidateOrder::Input => {
-            let mut c = remaining.clone();
-            c.sort_unstable();
-            c
+    truncated: bool,
+}
+
+impl BacktrackSearch<'_, '_> {
+    fn recurse(&mut self, remaining_mask: u64) -> bool {
+        if remaining_mask == 0 {
+            return true;
         }
-        CandidateOrder::MaxSlackFirst => {
-            let mut scored: Vec<(f64, usize)> = remaining
-                .iter()
-                .map(|&cand| {
-                    let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
-                    stats.checks += 1;
-                    (check_task(tasks, cand, &hp).slack, cand)
-                })
-                .collect();
-            scored.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
-            scored
-                .into_iter()
-                .filter(|&(slack, _)| slack >= 0.0)
-                .map(|(_, cand)| cand)
-                .collect()
-        }
-    };
-    for cand in candidates {
-        if stats.checks >= max_checks {
-            *truncated = true;
+        if self.stats.checks >= self.max_checks {
+            self.truncated = true;
             return false;
         }
-        let stable = match order {
+        match self.order {
             CandidateOrder::Input => {
-                let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
-                stats.checks += 1;
-                check_task(tasks, cand, &hp).stable
+                // Ascending bit order == the reference's sorted clone of
+                // the remaining set, without the clone.
+                for cand in BitIter(remaining_mask) {
+                    if self.stats.checks >= self.max_checks {
+                        self.truncated = true;
+                        return false;
+                    }
+                    self.stats.checks += 1;
+                    let stable = self
+                        .checker
+                        .check_mask(cand, remaining_mask & !(1u64 << cand))
+                        .stable;
+                    if stable {
+                        if self.descend(remaining_mask, cand) {
+                            return true;
+                        }
+                        if self.truncated {
+                            return false;
+                        }
+                    }
+                }
             }
-            // MaxSlackFirst pre-filtered to stable candidates.
-            CandidateOrder::MaxSlackFirst => true,
-        };
-        if stable {
-            let pos = remaining
-                .iter()
-                .position(|&x| x == cand)
-                .expect("candidate must be in the remaining set");
-            remaining.swap_remove(pos);
-            bottom_up.push(cand);
-            if backtrack_recurse_budgeted(
-                tasks, order, remaining, bottom_up, stats, max_checks, truncated,
-            ) {
-                return true;
+            CandidateOrder::MaxSlackFirst => {
+                let mut scored: Vec<(f64, usize)> = Vec::with_capacity(self.remaining.len());
+                for idx in 0..self.remaining.len() {
+                    let cand = self.remaining[idx];
+                    self.stats.checks += 1;
+                    let slack = self
+                        .checker
+                        .check_mask(cand, remaining_mask & !(1u64 << cand))
+                        .slack;
+                    scored.push((slack, cand));
+                }
+                order_by_slack_desc(&mut scored);
+                for (slack, cand) in scored {
+                    // Pre-filtered to stable candidates; no re-check.
+                    if !slack_admits(slack) {
+                        continue;
+                    }
+                    if self.stats.checks >= self.max_checks {
+                        self.truncated = true;
+                        return false;
+                    }
+                    if self.descend(remaining_mask, cand) {
+                        return true;
+                    }
+                    if self.truncated {
+                        return false;
+                    }
+                }
             }
-            if *truncated {
-                return false;
-            }
-            stats.backtracks += 1;
-            bottom_up.pop();
-            remaining.push(cand);
         }
+        false
     }
-    false
+
+    /// Commits `cand` to the lowest open level and recurses; on failure
+    /// (not truncation) restores state and counts the backtrack.
+    fn descend(&mut self, remaining_mask: u64, cand: usize) -> bool {
+        let pos = self
+            .remaining
+            .iter()
+            .position(|&x| x == cand)
+            .expect("candidate must be in the remaining set");
+        self.remaining.swap_remove(pos);
+        self.bottom_up.push(cand);
+        if self.recurse(remaining_mask & !(1u64 << cand)) {
+            return true;
+        }
+        if self.truncated {
+            return false;
+        }
+        self.stats.backtracks += 1;
+        self.bottom_up.pop();
+        self.remaining.push(cand);
+        false
+    }
 }
 
 /// The paper's "Unsafe Quadratic" baseline: criticality ordering with
@@ -248,13 +328,17 @@ fn backtrack_recurse_budgeted(
 /// fails.
 pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
     let n = tasks.len();
+    if n > MEMO_MAX_TASKS {
+        return reference::unsafe_quadratic(tasks);
+    }
+    let mut checker = StabilityChecker::new(tasks);
+    let full = checker.full_mask();
     let mut stats = AssignmentStats::default();
     // Step 1: worst-case analysis of every task.
     let verdicts: Vec<_> = (0..n)
         .map(|i| {
-            let hp: Vec<usize> = (0..n).filter(|&x| x != i).collect();
             stats.checks += 1;
-            check_task(tasks, i, &hp)
+            checker.check_mask(i, full & !(1u64 << i))
         })
         .collect();
     // Step 2: sort by slack, largest slack to the bottom.
@@ -262,26 +346,34 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
     bottom_up.sort_by(|&x, &y| {
         verdicts[y]
             .slack
-            .partial_cmp(&verdicts[x].slack)
-            .expect("slacks are never NaN")
+            .total_cmp(&verdicts[x].slack)
             .then(x.cmp(&y))
     });
     // Step 3: the bottom task's worst-case check is exact (its final
     // higher-priority set is all other tasks). If even the best
     // candidate fails there, no assignment has a stable bottom task.
     if !verdicts[bottom_up[0]].stable {
+        stats.cache_hits = checker.cache_hits();
         return AssignmentOutcome {
             assignment: None,
             stats,
         };
     }
     let assignment = PriorityAssignment::from_lowest_first(&bottom_up);
+    // Final higher-priority mask of each task: everything placed above it.
+    let mut hp_of = [0u64; MEMO_MAX_TASKS];
+    let mut mask_above = 0u64;
+    for &i in bottom_up.iter().rev() {
+        hp_of[i] = mask_above;
+        mask_above |= 1u64 << i;
+    }
     // Step 3 continued: re-verify only the promoted-because-critical
     // tasks; the rest keep their (anomaly-prone) certificates.
     for &i in &bottom_up[1..] {
         if !verdicts[i].stable {
             stats.checks += 1;
-            if !check_task(tasks, i, &assignment.hp_indices(i)).stable {
+            if !checker.check_mask(i, hp_of[i]).stable {
+                stats.cache_hits = checker.cache_hits();
                 return AssignmentOutcome {
                     assignment: None,
                     stats,
@@ -289,6 +381,7 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
             }
         }
     }
+    stats.cache_hits = checker.cache_hits();
     AssignmentOutcome {
         assignment: Some(assignment),
         stats,
@@ -304,15 +397,22 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
 /// it give up where [`backtracking`] would recover.
 pub fn audsley_opa(tasks: &[ControlTask]) -> AssignmentOutcome {
     let n = tasks.len();
+    if n > MEMO_MAX_TASKS {
+        return reference::audsley_opa(tasks);
+    }
+    let mut checker = StabilityChecker::new(tasks);
     let mut stats = AssignmentStats::default();
     let mut remaining: Vec<usize> = (0..n).collect();
+    let mut remaining_mask = checker.full_mask();
     let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
     while !remaining.is_empty() {
         let mut committed = None;
         for &cand in &remaining {
-            let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
             stats.checks += 1;
-            if check_task(tasks, cand, &hp).stable {
+            if checker
+                .check_mask(cand, remaining_mask & !(1u64 << cand))
+                .stable
+            {
                 committed = Some(cand);
                 break;
             }
@@ -320,16 +420,19 @@ pub fn audsley_opa(tasks: &[ControlTask]) -> AssignmentOutcome {
         match committed {
             Some(cand) => {
                 remaining.retain(|&x| x != cand);
+                remaining_mask &= !(1u64 << cand);
                 bottom_up.push(cand);
             }
             None => {
+                stats.cache_hits = checker.cache_hits();
                 return AssignmentOutcome {
                     assignment: None,
                     stats,
-                }
+                };
             }
         }
     }
+    stats.cache_hits = checker.cache_hits();
     AssignmentOutcome {
         assignment: Some(PriorityAssignment::from_lowest_first(&bottom_up)),
         stats,
@@ -354,53 +457,55 @@ pub fn exhaustive(tasks: &[ControlTask]) -> AssignmentOutcome {
         n <= EXHAUSTIVE_MAX_TASKS,
         "exhaustive search is limited to {EXHAUSTIVE_MAX_TASKS} tasks"
     );
+    let mut checker = StabilityChecker::new(tasks);
     let mut stats = AssignmentStats::default();
     let mut perm: Vec<usize> = Vec::with_capacity(n);
-    let mut used = vec![false; n];
-    let found = exhaustive_recurse(tasks, &mut perm, &mut used, &mut stats);
+    let found = exhaustive_recurse(&mut checker, &mut perm, 0, &mut stats);
+    stats.cache_hits = checker.cache_hits();
     AssignmentOutcome {
         assignment: found.map(|order| PriorityAssignment::from_highest_first(&order)),
         stats,
     }
 }
 
-/// Builds permutations highest-priority-first, pruning as soon as a placed
-/// task is unstable against the (final) set of tasks above it plus all
-/// unplaced tasks? No — a placed task's verdict depends only on tasks
-/// *above* it, which are exactly the prefix, so the check is final and
-/// pruning is exact.
+/// Builds permutations highest-priority-first. A placed task's verdict
+/// depends only on the set of tasks *above* it — exactly the prefix,
+/// tracked as `prefix_mask` — so the check is final, pruning is exact,
+/// and permutations sharing a prefix set share memoized verdicts.
 fn exhaustive_recurse(
-    tasks: &[ControlTask],
+    checker: &mut StabilityChecker<'_>,
     perm: &mut Vec<usize>,
-    used: &mut [bool],
+    prefix_mask: u64,
     stats: &mut AssignmentStats,
 ) -> Option<Vec<usize>> {
-    let n = tasks.len();
+    let n = checker.len();
     if perm.len() == n {
         return Some(perm.clone());
     }
     for cand in 0..n {
-        if used[cand] {
+        if prefix_mask & (1u64 << cand) != 0 {
             continue;
         }
         // The candidate occupies the next-lower level; its higher-priority
         // set is exactly the current prefix — a final verdict.
         stats.checks += 1;
-        if check_task(tasks, cand, perm).stable {
-            used[cand] = true;
+        if checker.check_mask(cand, prefix_mask).stable {
             perm.push(cand);
-            if let Some(found) = exhaustive_recurse(tasks, perm, used, stats) {
+            if let Some(found) =
+                exhaustive_recurse(checker, perm, prefix_mask | (1u64 << cand), stats)
+            {
                 return Some(found);
             }
             perm.pop();
-            used[cand] = false;
         }
     }
     None
 }
 
 /// Counts all valid priority assignments by exhaustive enumeration (for
-/// tests and the anomaly census on small sets).
+/// tests and the anomaly census on small sets). Memoization makes this
+/// near-linear in the number of distinct `(task, prefix-set)` states
+/// instead of the number of permutations.
 ///
 /// # Panics
 ///
@@ -408,27 +513,300 @@ fn exhaustive_recurse(
 pub fn count_valid_assignments(tasks: &[ControlTask]) -> u64 {
     let n = tasks.len();
     assert!(n <= EXHAUSTIVE_MAX_TASKS);
-    fn recurse(tasks: &[ControlTask], perm: &mut Vec<usize>, used: &mut [bool]) -> u64 {
-        let n = tasks.len();
-        if perm.len() == n {
+    fn recurse(checker: &mut StabilityChecker<'_>, placed: usize, prefix_mask: u64) -> u64 {
+        let n = checker.len();
+        if placed == n {
             return 1;
         }
         let mut total = 0;
         for cand in 0..n {
-            if used[cand] {
+            if prefix_mask & (1u64 << cand) != 0 {
                 continue;
             }
-            if check_task(tasks, cand, perm).stable {
-                used[cand] = true;
-                perm.push(cand);
-                total += recurse(tasks, perm, used);
-                perm.pop();
-                used[cand] = false;
+            if checker.check_mask(cand, prefix_mask).stable {
+                total += recurse(checker, placed + 1, prefix_mask | (1u64 << cand));
             }
         }
         total
     }
-    recurse(tasks, &mut Vec::new(), &mut vec![false; n])
+    recurse(&mut StabilityChecker::new(tasks), 0, 0)
+}
+
+pub mod reference {
+    //! Unmemoized reference implementations of the assignment
+    //! algorithms — the pre-optimization code paths, retained verbatim.
+    //!
+    //! Two jobs:
+    //!
+    //! 1. **Differential testing.** The memoized, zero-allocation
+    //!    searches in the parent module must return bit-identical
+    //!    results (assignment, feasibility, logical check and backtrack
+    //!    counts) to these; the `csa-core` property tests assert it on
+    //!    random task sets.
+    //! 2. **Large-set fallback.** Sets beyond
+    //!    [`MEMO_MAX_TASKS`](crate::MEMO_MAX_TASKS) tasks cannot key a
+    //!    64-bit remaining-set bitmask; the parent entry points delegate
+    //!    here.
+    //!
+    //! Every function matches its parent-module namesake's contract;
+    //! [`AssignmentStats::cache_hits`] is always 0 here.
+
+    use super::{
+        check_task, order_by_slack_desc, slack_admits, AssignmentOutcome, AssignmentStats,
+        CandidateOrder, ControlTask, PriorityAssignment,
+    };
+
+    /// Reference [`crate::backtracking`] (uncached, allocating).
+    pub fn backtracking(tasks: &[ControlTask]) -> AssignmentOutcome {
+        backtracking_with_order(tasks, CandidateOrder::Input)
+    }
+
+    /// Reference [`crate::backtracking_with_order`].
+    pub fn backtracking_with_order(
+        tasks: &[ControlTask],
+        order: CandidateOrder,
+    ) -> AssignmentOutcome {
+        let (outcome, truncated) = backtracking_with_budget(tasks, order, u64::MAX);
+        debug_assert!(!truncated, "unbounded search cannot be truncated");
+        outcome
+    }
+
+    /// Reference [`crate::backtracking_with_budget`].
+    pub fn backtracking_with_budget(
+        tasks: &[ControlTask],
+        order: CandidateOrder,
+        max_checks: u64,
+    ) -> (AssignmentOutcome, bool) {
+        let n = tasks.len();
+        let mut stats = AssignmentStats::default();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
+        let mut truncated = false;
+        let found = backtrack_recurse_budgeted(
+            tasks,
+            order,
+            &mut remaining,
+            &mut bottom_up,
+            &mut stats,
+            max_checks,
+            &mut truncated,
+        );
+        (
+            AssignmentOutcome {
+                assignment: found.then(|| PriorityAssignment::from_lowest_first(&bottom_up)),
+                stats,
+            },
+            truncated,
+        )
+    }
+
+    fn backtrack_recurse_budgeted(
+        tasks: &[ControlTask],
+        order: CandidateOrder,
+        remaining: &mut Vec<usize>,
+        bottom_up: &mut Vec<usize>,
+        stats: &mut AssignmentStats,
+        max_checks: u64,
+        truncated: &mut bool,
+    ) -> bool {
+        if remaining.is_empty() {
+            return true;
+        }
+        if stats.checks >= max_checks {
+            *truncated = true;
+            return false;
+        }
+        // Determine the candidate evaluation order for this level.
+        let candidates: Vec<usize> = match order {
+            CandidateOrder::Input => {
+                let mut c = remaining.clone();
+                c.sort_unstable();
+                c
+            }
+            CandidateOrder::MaxSlackFirst => {
+                let mut scored: Vec<(f64, usize)> = remaining
+                    .iter()
+                    .map(|&cand| {
+                        let hp: Vec<usize> =
+                            remaining.iter().copied().filter(|&x| x != cand).collect();
+                        stats.checks += 1;
+                        (check_task(tasks, cand, &hp).slack, cand)
+                    })
+                    .collect();
+                order_by_slack_desc(&mut scored);
+                scored
+                    .into_iter()
+                    .filter(|&(slack, _)| slack_admits(slack))
+                    .map(|(_, cand)| cand)
+                    .collect()
+            }
+        };
+        for cand in candidates {
+            if stats.checks >= max_checks {
+                *truncated = true;
+                return false;
+            }
+            let stable = match order {
+                CandidateOrder::Input => {
+                    let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
+                    stats.checks += 1;
+                    check_task(tasks, cand, &hp).stable
+                }
+                // MaxSlackFirst pre-filtered to stable candidates.
+                CandidateOrder::MaxSlackFirst => true,
+            };
+            if stable {
+                let pos = remaining
+                    .iter()
+                    .position(|&x| x == cand)
+                    .expect("candidate must be in the remaining set");
+                remaining.swap_remove(pos);
+                bottom_up.push(cand);
+                if backtrack_recurse_budgeted(
+                    tasks, order, remaining, bottom_up, stats, max_checks, truncated,
+                ) {
+                    return true;
+                }
+                if *truncated {
+                    return false;
+                }
+                stats.backtracks += 1;
+                bottom_up.pop();
+                remaining.push(cand);
+            }
+        }
+        false
+    }
+
+    /// Reference [`crate::unsafe_quadratic`].
+    pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
+        let n = tasks.len();
+        let mut stats = AssignmentStats::default();
+        // Step 1: worst-case analysis of every task.
+        let verdicts: Vec<_> = (0..n)
+            .map(|i| {
+                let hp: Vec<usize> = (0..n).filter(|&x| x != i).collect();
+                stats.checks += 1;
+                check_task(tasks, i, &hp)
+            })
+            .collect();
+        // Step 2: sort by slack, largest slack to the bottom.
+        let mut bottom_up: Vec<usize> = (0..n).collect();
+        bottom_up.sort_by(|&x, &y| {
+            verdicts[y]
+                .slack
+                .total_cmp(&verdicts[x].slack)
+                .then(x.cmp(&y))
+        });
+        // Step 3: the bottom task's worst-case check is exact.
+        if !verdicts[bottom_up[0]].stable {
+            return AssignmentOutcome {
+                assignment: None,
+                stats,
+            };
+        }
+        let assignment = PriorityAssignment::from_lowest_first(&bottom_up);
+        for &i in &bottom_up[1..] {
+            if !verdicts[i].stable {
+                stats.checks += 1;
+                if !check_task(tasks, i, &assignment.hp_indices(i)).stable {
+                    return AssignmentOutcome {
+                        assignment: None,
+                        stats,
+                    };
+                }
+            }
+        }
+        AssignmentOutcome {
+            assignment: Some(assignment),
+            stats,
+        }
+    }
+
+    /// Reference [`crate::audsley_opa`].
+    pub fn audsley_opa(tasks: &[ControlTask]) -> AssignmentOutcome {
+        let n = tasks.len();
+        let mut stats = AssignmentStats::default();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
+        while !remaining.is_empty() {
+            let mut committed = None;
+            for &cand in &remaining {
+                let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
+                stats.checks += 1;
+                if check_task(tasks, cand, &hp).stable {
+                    committed = Some(cand);
+                    break;
+                }
+            }
+            match committed {
+                Some(cand) => {
+                    remaining.retain(|&x| x != cand);
+                    bottom_up.push(cand);
+                }
+                None => {
+                    return AssignmentOutcome {
+                        assignment: None,
+                        stats,
+                    }
+                }
+            }
+        }
+        AssignmentOutcome {
+            assignment: Some(PriorityAssignment::from_lowest_first(&bottom_up)),
+            stats,
+        }
+    }
+
+    /// Reference [`crate::exhaustive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks.len() > EXHAUSTIVE_MAX_TASKS`.
+    pub fn exhaustive(tasks: &[ControlTask]) -> AssignmentOutcome {
+        let n = tasks.len();
+        assert!(
+            n <= super::EXHAUSTIVE_MAX_TASKS,
+            "exhaustive search is limited to {} tasks",
+            super::EXHAUSTIVE_MAX_TASKS
+        );
+        let mut stats = AssignmentStats::default();
+        let mut perm: Vec<usize> = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        let found = exhaustive_recurse(tasks, &mut perm, &mut used, &mut stats);
+        AssignmentOutcome {
+            assignment: found.map(|order| PriorityAssignment::from_highest_first(&order)),
+            stats,
+        }
+    }
+
+    fn exhaustive_recurse(
+        tasks: &[ControlTask],
+        perm: &mut Vec<usize>,
+        used: &mut [bool],
+        stats: &mut AssignmentStats,
+    ) -> Option<Vec<usize>> {
+        let n = tasks.len();
+        if perm.len() == n {
+            return Some(perm.clone());
+        }
+        for cand in 0..n {
+            if used[cand] {
+                continue;
+            }
+            stats.checks += 1;
+            if check_task(tasks, cand, perm).stable {
+                used[cand] = true;
+                perm.push(cand);
+                if let Some(found) = exhaustive_recurse(tasks, perm, used, stats) {
+                    return Some(found);
+                }
+                perm.pop();
+                used[cand] = false;
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -608,5 +986,113 @@ mod tests {
             .collect();
         assert!(exhaustive(&tasks).assignment.is_some());
         assert_eq!(count_valid_assignments(&tasks), 6); // all 3! work
+    }
+
+    #[test]
+    fn slack_ordering_survives_nan_and_rejects_it() {
+        // Regression for the former `partial_cmp(..).unwrap()` panic: a
+        // NaN slack must neither crash the sort nor be admitted as a
+        // stable candidate. (A NaN slack cannot be produced through the
+        // public task model — `b` is finite and `L + aJ` is a product of
+        // finite values whose overflow saturates to infinity, never NaN —
+        // so the ordering helper is exercised directly.)
+        let mut scored = vec![
+            (1.0, 0),
+            (f64::NAN, 1),
+            (-2.0, 2),
+            (f64::INFINITY, 3),
+            (f64::NEG_INFINITY, 4),
+        ];
+        order_by_slack_desc(&mut scored);
+        // NaN orders above +inf under total_cmp; everything else keeps
+        // the usual descending order.
+        let order: Vec<usize> = scored.iter().map(|&(_, c)| c).collect();
+        assert_eq!(order, vec![1, 3, 0, 2, 4]);
+        // The stability filter rejects NaN along with negative slack.
+        let admitted: Vec<usize> = scored
+            .iter()
+            .filter(|&&(s, _)| slack_admits(s))
+            .map(|&(_, c)| c)
+            .collect();
+        assert_eq!(admitted, vec![3, 0]);
+    }
+
+    #[test]
+    fn ties_keep_input_order_after_total_cmp_switch() {
+        // The stable sort must preserve the incoming order on exact
+        // slack ties (the memoized and reference searches both rely on
+        // this to stay bit-identical).
+        let mut scored = vec![(0.5, 7), (0.5, 3), (0.5, 9), (1.0, 1)];
+        order_by_slack_desc(&mut scored);
+        let order: Vec<usize> = scored.iter().map(|&(_, c)| c).collect();
+        assert_eq!(order, vec![1, 7, 3, 9]);
+    }
+
+    #[test]
+    fn memoized_search_matches_reference_on_classic_sets() {
+        let tasks = classic();
+        for order in [CandidateOrder::Input, CandidateOrder::MaxSlackFirst] {
+            let fast = backtracking_with_order(&tasks, order);
+            let naive = reference::backtracking_with_order(&tasks, order);
+            assert_eq!(fast.assignment, naive.assignment);
+            assert_eq!(fast.stats.checks, naive.stats.checks);
+            assert_eq!(fast.stats.backtracks, naive.stats.backtracks);
+        }
+        let fast = unsafe_quadratic(&tasks);
+        let naive = reference::unsafe_quadratic(&tasks);
+        assert_eq!(fast.assignment, naive.assignment);
+        assert_eq!(fast.stats.checks, naive.stats.checks);
+        let fast = audsley_opa(&tasks);
+        let naive = reference::audsley_opa(&tasks);
+        assert_eq!(fast.assignment, naive.assignment);
+        assert_eq!(fast.stats.checks, naive.stats.checks);
+        let fast = exhaustive(&tasks);
+        let naive = reference::exhaustive(&tasks);
+        assert_eq!(fast.assignment, naive.assignment);
+        assert_eq!(fast.stats.checks, naive.stats.checks);
+    }
+
+    #[test]
+    fn backtrack_heavy_instance_hits_the_memo() {
+        // The factorial blow-up family from the `worst_case` integration
+        // test: (n-2) interchangeable tasks plus two top-only tasks. The
+        // search re-enters the same (candidate, remaining-set) states
+        // over and over; the memo must absorb almost all of them while
+        // the logical check count stays exactly the reference's.
+        let n = 7;
+        let mut tasks = Vec::with_capacity(n);
+        for i in 0..n - 2 {
+            tasks.push(ControlTask::from_parts(i as u32, 1, 1, 1_000_000, 1.0, 1.0).unwrap());
+        }
+        for i in n - 2..n {
+            tasks
+                .push(ControlTask::from_parts(i as u32, 100, 100, 1_000_000, 1.0, 100e-9).unwrap());
+        }
+        let fast = backtracking(&tasks);
+        let naive = reference::backtracking(&tasks);
+        assert_eq!(fast.assignment, naive.assignment);
+        assert_eq!(fast.stats.checks, naive.stats.checks);
+        assert_eq!(fast.stats.backtracks, naive.stats.backtracks);
+        assert_eq!(naive.stats.cache_hits, 0);
+        assert!(
+            fast.stats.cache_hits * 2 > fast.stats.checks,
+            "expected the memo to absorb most of the {} logical checks, hit {}",
+            fast.stats.checks,
+            fast.stats.cache_hits
+        );
+    }
+
+    #[test]
+    fn budget_truncation_is_memo_invariant() {
+        let tasks = classic();
+        for cap in 0..8u64 {
+            let (fast, fast_trunc) = backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+            let (naive, naive_trunc) =
+                reference::backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+            assert_eq!(fast_trunc, naive_trunc, "cap {cap}");
+            assert_eq!(fast.assignment, naive.assignment, "cap {cap}");
+            assert_eq!(fast.stats.checks, naive.stats.checks, "cap {cap}");
+            assert_eq!(fast.stats.backtracks, naive.stats.backtracks, "cap {cap}");
+        }
     }
 }

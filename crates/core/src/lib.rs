@@ -42,14 +42,19 @@
 mod analysis;
 pub mod anomaly;
 mod assignment;
+mod fxhash;
 mod sensitivity;
 mod stability;
 
-pub use analysis::{analyze, check_task, is_valid_assignment, PriorityAssignment, TaskVerdict};
+pub use analysis::{
+    analyze, check_task, is_valid_assignment, PriorityAssignment, StabilityChecker, TaskVerdict,
+    MEMO_MAX_TASKS,
+};
 pub use anomaly::{
     find_interference_removal_anomaly, find_period_increase_anomaly, find_priority_raise_anomaly,
     find_wcet_decrease_anomaly, verify_witness, AnomalyKind, AnomalyWitness,
 };
+pub use assignment::reference;
 pub use assignment::{
     audsley_opa, backtracking, backtracking_with_budget, backtracking_with_order,
     count_valid_assignments, exhaustive, unsafe_quadratic, AssignmentOutcome, AssignmentStats,

@@ -12,8 +12,9 @@
 //!   validly.
 
 use csa_core::{
-    audsley_opa, backtracking, count_valid_assignments, exhaustive, is_valid_assignment,
-    unsafe_quadratic, ControlTask,
+    audsley_opa, backtracking, backtracking_with_budget, backtracking_with_order,
+    count_valid_assignments, exhaustive, is_valid_assignment, reference, unsafe_quadratic,
+    CandidateOrder, ControlTask,
 };
 use proptest::prelude::*;
 
@@ -96,6 +97,53 @@ proptest! {
         prop_assert!(opa.stats.checks <= n * (n + 1) / 2);
         prop_assert_eq!(uq.stats.backtracks, 0);
         prop_assert_eq!(opa.stats.backtracks, 0);
+    }
+
+    #[test]
+    fn memoized_backtracking_is_bit_identical_to_reference(tasks in task_set()) {
+        // The tentpole contract of the zero-allocation/memoized search:
+        // same assignment, same feasibility, same *logical* check and
+        // backtrack counts as the retained naive implementation — the
+        // memo may only change cache_hits and wall-clock time.
+        for order in [CandidateOrder::Input, CandidateOrder::MaxSlackFirst] {
+            let fast = backtracking_with_order(&tasks, order);
+            let naive = reference::backtracking_with_order(&tasks, order);
+            prop_assert_eq!(&fast.assignment, &naive.assignment, "order {:?}", order);
+            prop_assert_eq!(fast.stats.checks, naive.stats.checks, "order {:?}", order);
+            prop_assert_eq!(fast.stats.backtracks, naive.stats.backtracks, "order {:?}", order);
+            prop_assert_eq!(naive.stats.cache_hits, 0u64);
+        }
+    }
+
+    #[test]
+    fn memoized_helpers_are_bit_identical_to_reference(tasks in task_set()) {
+        let fast = unsafe_quadratic(&tasks);
+        let naive = reference::unsafe_quadratic(&tasks);
+        prop_assert_eq!(&fast.assignment, &naive.assignment);
+        prop_assert_eq!(fast.stats.checks, naive.stats.checks);
+
+        let fast = audsley_opa(&tasks);
+        let naive = reference::audsley_opa(&tasks);
+        prop_assert_eq!(&fast.assignment, &naive.assignment);
+        prop_assert_eq!(fast.stats.checks, naive.stats.checks);
+
+        let fast = exhaustive(&tasks);
+        let naive = reference::exhaustive(&tasks);
+        prop_assert_eq!(&fast.assignment, &naive.assignment);
+        prop_assert_eq!(fast.stats.checks, naive.stats.checks);
+    }
+
+    #[test]
+    fn budgeted_search_is_memo_invariant(tasks in task_set(), cap in 0u64..40) {
+        // Truncation decisions count logical checks, so the memo must
+        // not move the truncation point either.
+        let (fast, fast_trunc) = backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+        let (naive, naive_trunc) =
+            reference::backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+        prop_assert_eq!(fast_trunc, naive_trunc);
+        prop_assert_eq!(&fast.assignment, &naive.assignment);
+        prop_assert_eq!(fast.stats.checks, naive.stats.checks);
+        prop_assert_eq!(fast.stats.backtracks, naive.stats.backtracks);
     }
 
     #[test]

@@ -1,17 +1,23 @@
 //! Runs every experiment in sequence (Table I, Figs. 2/4/5, census).
-//! Pass `--quick` for reduced scales everywhere.
+//! Pass `--quick` for reduced scales everywhere and `--threads N` to
+//! bound the worker count (default: available parallelism; results are
+//! identical at any setting).
 
 use csa_experiments::{
-    format_census, format_table1, quick_flag, run_census, run_fig2, run_fig4, run_fig5, run_table1,
-    CensusConfig, Fig2Config, Fig4Config, Fig5Config, Table1Config,
+    format_census, format_table1, quick_flag, run_census_with_threads, run_fig2_with_threads,
+    run_fig4, run_fig5, run_table1_with_threads, threads_flag, warm_margin_tables, CensusConfig,
+    Fig2Config, Fig4Config, Fig5Config, Table1Config,
 };
 
 fn main() {
     let quick = quick_flag();
+    let threads = threads_flag();
     eprintln!(
-        "running all experiments ({} scale)",
-        if quick { "quick" } else { "paper" }
+        "running all experiments ({} scale, {} worker threads)",
+        if quick { "quick" } else { "paper" },
+        threads
     );
+    warm_margin_tables(threads);
 
     let fig4 = run_fig4(&if quick {
         Fig4Config::quick()
@@ -28,11 +34,14 @@ fn main() {
         );
     }
 
-    let fig2 = run_fig2(&if quick {
-        Fig2Config::quick()
-    } else {
-        Fig2Config::paper()
-    });
+    let fig2 = run_fig2_with_threads(
+        &if quick {
+            Fig2Config::quick()
+        } else {
+            Fig2Config::paper()
+        },
+        threads,
+    );
     println!("== Fig. 2: cost vs. period ==");
     for c in &fig2 {
         println!(
@@ -44,11 +53,14 @@ fn main() {
         );
     }
 
-    let t1 = run_table1(&if quick {
-        Table1Config::quick()
-    } else {
-        Table1Config::paper()
-    });
+    let t1 = run_table1_with_threads(
+        &if quick {
+            Table1Config::quick()
+        } else {
+            Table1Config::paper()
+        },
+        threads,
+    );
     println!("== Table I ==");
     println!("{}", format_table1(&t1));
 
@@ -67,11 +79,14 @@ fn main() {
         );
     }
 
-    let census = run_census(&if quick {
-        CensusConfig::quick()
-    } else {
-        CensusConfig::paper()
-    });
+    let census = run_census_with_threads(
+        &if quick {
+            CensusConfig::quick()
+        } else {
+            CensusConfig::paper()
+        },
+        threads,
+    );
     println!("== Census ==");
     println!("{}", format_census(&census));
 }

@@ -1,7 +1,11 @@
 //! Anomaly-rarity census (supports the paper's §IV/§V argument). Pass
-//! `--quick` for a reduced run.
+//! `--quick` for a reduced run and `--threads N` to bound the worker
+//! count (results are identical at any thread count).
 
-use csa_experiments::{format_census, quick_flag, run_census, write_csv, CensusConfig};
+use csa_experiments::{
+    format_census, quick_flag, run_census_with_threads, threads_flag, warm_margin_tables,
+    write_csv, CensusConfig,
+};
 
 fn main() -> std::io::Result<()> {
     let config = if quick_flag() {
@@ -9,11 +13,13 @@ fn main() -> std::io::Result<()> {
     } else {
         CensusConfig::paper()
     };
+    let threads = threads_flag();
     eprintln!(
-        "census: {} benchmarks per n over n = {:?}",
-        config.benchmarks, config.task_counts
+        "census: {} benchmarks per n over n = {:?} ({} worker threads)",
+        config.benchmarks, config.task_counts, threads
     );
-    let rows = run_census(&config);
+    warm_margin_tables(threads);
+    let rows = run_census_with_threads(&config, threads);
     println!("{}", format_census(&rows));
     let path = write_csv(
         "census.csv",

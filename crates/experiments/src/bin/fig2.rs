@@ -1,7 +1,8 @@
 //! Regenerates the paper's Fig. 2 (cost vs. sampling period). Pass
-//! `--quick` for a reduced sweep.
+//! `--quick` for a reduced sweep and `--threads N` to bound the worker
+//! count (the curves are identical at any thread count).
 
-use csa_experiments::{quick_flag, run_fig2, write_csv, Fig2Config};
+use csa_experiments::{quick_flag, run_fig2_with_threads, threads_flag, write_csv, Fig2Config};
 
 fn main() -> std::io::Result<()> {
     let config = if quick_flag() {
@@ -9,11 +10,12 @@ fn main() -> std::io::Result<()> {
     } else {
         Fig2Config::paper()
     };
+    let threads = threads_flag();
     eprintln!(
-        "fig2: sweeping h in [{}, {}] s with {} points",
-        config.h_min, config.h_max, config.points
+        "fig2: sweeping h in [{}, {}] s with {} points ({} worker threads)",
+        config.h_min, config.h_max, config.points, threads
     );
-    let curves = run_fig2(&config);
+    let curves = run_fig2_with_threads(&config, threads);
     for c in &curves {
         println!(
             "{}: {} local maxima, increasing trend: {}, dynamic range: {:.2e}",

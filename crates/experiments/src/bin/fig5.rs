@@ -1,7 +1,11 @@
 //! Regenerates the paper's Fig. 5 (assignment runtime vs. task count).
-//! Pass `--quick` for a reduced run.
+//! Pass `--quick` for a reduced run. `--threads N` only affects the
+//! margin-table warm-up: the timing loop itself is single-threaded so
+//! workers cannot perturb the measured runtimes.
 
-use csa_experiments::{empirical_order, quick_flag, run_fig5, write_csv, Fig5Config};
+use csa_experiments::{
+    empirical_order, quick_flag, run_fig5, threads_flag, warm_margin_tables, write_csv, Fig5Config,
+};
 
 fn main() -> std::io::Result<()> {
     let config = if quick_flag() {
@@ -13,18 +17,20 @@ fn main() -> std::io::Result<()> {
         "fig5: {} benchmarks per n over n = {:?}",
         config.benchmarks, config.task_counts
     );
+    warm_margin_tables(threads_flag());
     let points = run_fig5(&config);
     println!(
-        "{:>4} {:>16} {:>16} {:>12} {:>12} {:>10}",
-        "n", "backtrack(us)", "unsafe_quad(us)", "bt checks", "uq checks", "backtracks"
+        "{:>4} {:>16} {:>16} {:>12} {:>10} {:>12} {:>10}",
+        "n", "backtrack(us)", "unsafe_quad(us)", "bt checks", "bt hits", "uq checks", "backtracks"
     );
     for p in &points {
         println!(
-            "{:>4} {:>16.2} {:>16.2} {:>12.1} {:>12.1} {:>10.3}",
+            "{:>4} {:>16.2} {:>16.2} {:>12.1} {:>10.2} {:>12.1} {:>10.3}",
             p.n,
             p.backtracking_secs * 1e6,
             p.unsafe_quadratic_secs * 1e6,
             p.backtracking_checks,
+            p.backtracking_cache_hits,
             p.unsafe_quadratic_checks,
             p.backtracks
         );
@@ -44,14 +50,15 @@ fn main() -> std::io::Result<()> {
     println!("empirical check-count order: backtracking n^{bt_order:.2}, unsafe n^{uq_order:.2}");
     let path = write_csv(
         "fig5.csv",
-        "n,backtracking_us,unsafe_quadratic_us,backtracking_checks,unsafe_checks,backtracks",
+        "n,backtracking_us,unsafe_quadratic_us,backtracking_checks,backtracking_cache_hits,unsafe_checks,backtracks",
         points.iter().map(|p| {
             format!(
-                "{},{:.3},{:.3},{:.2},{:.2},{:.4}",
+                "{},{:.3},{:.3},{:.2},{:.2},{:.2},{:.4}",
                 p.n,
                 p.backtracking_secs * 1e6,
                 p.unsafe_quadratic_secs * 1e6,
                 p.backtracking_checks,
+                p.backtracking_cache_hits,
                 p.unsafe_quadratic_checks,
                 p.backtracks
             )

@@ -1,6 +1,11 @@
-//! Regenerates the paper's Table I. Pass `--quick` for a reduced run.
+//! Regenerates the paper's Table I. Pass `--quick` for a reduced run
+//! and `--threads N` to bound the worker count (results are identical
+//! at any thread count).
 
-use csa_experiments::{format_table1, quick_flag, run_table1, write_csv, Table1Config};
+use csa_experiments::{
+    format_table1, quick_flag, run_table1_with_threads, threads_flag, warm_margin_tables,
+    write_csv, Table1Config,
+};
 
 fn main() -> std::io::Result<()> {
     let config = if quick_flag() {
@@ -8,11 +13,13 @@ fn main() -> std::io::Result<()> {
     } else {
         Table1Config::paper()
     };
+    let threads = threads_flag();
     eprintln!(
-        "table1: {} benchmarks per n over n = {:?} (seed {})",
-        config.benchmarks, config.task_counts, config.seed
+        "table1: {} benchmarks per n over n = {:?} (seed {}, {} worker threads)",
+        config.benchmarks, config.task_counts, config.seed, threads
     );
-    let rows = run_table1(&config);
+    warm_margin_tables(threads);
+    let rows = run_table1_with_threads(&config, threads);
     println!("{}", format_table1(&rows));
     let path = write_csv(
         "table1.csv",

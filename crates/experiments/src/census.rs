@@ -13,10 +13,10 @@
 //!   quantity, re-measured here per benchmark).
 
 use crate::benchgen::{generate_benchmark, BenchmarkConfig};
+use crate::parallel::{instance_seed, parallel_map};
 use csa_core::{
-    audsley_opa, backtracking, check_task, find_interference_removal_anomaly,
-    find_priority_raise_anomaly, is_valid_assignment, unsafe_quadratic, verify_witness,
-    ControlTask,
+    audsley_opa, backtracking, find_interference_removal_anomaly, find_priority_raise_anomaly,
+    is_valid_assignment, unsafe_quadratic, verify_witness, ControlTask, StabilityChecker,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -79,16 +79,38 @@ pub struct CensusRow {
 
 /// Does the benchmark contain a task that is stable under maximum
 /// interference yet unstable after removing a single other task?
+///
+/// Runs `O(n^2)` exact checks on one memoizing [`StabilityChecker`]:
+/// the scratch keeps the whole scan allocation-free, and the bitmask
+/// subsets cost nothing to form. Sets wider than the bitmask
+/// (`csa_core::MEMO_MAX_TASKS`, far above any stock configuration)
+/// take the index-set path so arbitrary task counts keep working.
 fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
     let n = tasks.len();
+    let mut checker = StabilityChecker::new(tasks);
+    if checker.memoized() {
+        let full = checker.full_mask();
+        for i in 0..n {
+            let hp_full = full & !(1u64 << i);
+            if !checker.check_mask(i, hp_full).stable {
+                continue;
+            }
+            for j in 0..n {
+                if j != i && !checker.check_mask(i, hp_full & !(1u64 << j)).stable {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
     for i in 0..n {
         let full: Vec<usize> = (0..n).filter(|&x| x != i).collect();
-        if !check_task(tasks, i, &full).stable {
+        if !checker.check(i, &full).stable {
             continue;
         }
         for &j in &full {
             let reduced: Vec<usize> = full.iter().copied().filter(|&x| x != j).collect();
-            if !check_task(tasks, i, &reduced).stable {
+            if !checker.check(i, &reduced).stable {
                 return true;
             }
         }
@@ -96,14 +118,69 @@ fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
     false
 }
 
-/// Runs the census.
+/// Per-instance census flags, folded into a [`CensusRow`] in index
+/// order.
+#[derive(Debug, Clone, Copy)]
+struct InstanceFlags {
+    solvable: bool,
+    interference_anomaly: bool,
+    priority_raise_anomaly: bool,
+    opa_incomplete: bool,
+    unsafe_invalid: bool,
+    certificate_lie: bool,
+}
+
+/// Runs the census single-threaded (see [`run_census_with_threads`]).
 pub fn run_census(config: &CensusConfig) -> Vec<CensusRow> {
+    run_census_with_threads(config, 1)
+}
+
+/// Runs the census sharded across `threads` workers (0 = available
+/// parallelism); per-instance seeds make the rows bit-identical at any
+/// thread count.
+pub fn run_census_with_threads(config: &CensusConfig, threads: usize) -> Vec<CensusRow> {
     config
         .task_counts
         .iter()
         .map(|&n| {
-            let mut rng = StdRng::seed_from_u64(config.seed ^ ((n as u64) << 40));
             let bench_cfg = BenchmarkConfig::new(n);
+            let flags = parallel_map(config.benchmarks, threads, |k| {
+                let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, n, k));
+                let tasks = generate_benchmark(&bench_cfg, &mut rng);
+                let certificate_lie = has_certificate_lie(&tasks);
+                let bt = backtracking(&tasks);
+                let (solvable, interference_anomaly, priority_raise_anomaly, opa_incomplete) =
+                    match &bt.assignment {
+                        Some(pa) => {
+                            let interf = match find_interference_removal_anomaly(&tasks, pa) {
+                                Some(w) => {
+                                    debug_assert!(verify_witness(&tasks, pa, &w));
+                                    true
+                                }
+                                None => false,
+                            };
+                            (
+                                true,
+                                interf,
+                                find_priority_raise_anomaly(&tasks, pa).is_some(),
+                                audsley_opa(&tasks).assignment.is_none(),
+                            )
+                        }
+                        None => (false, false, false, false),
+                    };
+                let unsafe_invalid = match unsafe_quadratic(&tasks).assignment {
+                    Some(pa) => !is_valid_assignment(&tasks, &pa),
+                    None => false,
+                };
+                InstanceFlags {
+                    solvable,
+                    interference_anomaly,
+                    priority_raise_anomaly,
+                    opa_incomplete,
+                    unsafe_invalid,
+                    certificate_lie,
+                }
+            });
             let mut row = CensusRow {
                 n,
                 benchmarks: config.benchmarks,
@@ -114,30 +191,13 @@ pub fn run_census(config: &CensusConfig) -> Vec<CensusRow> {
                 unsafe_invalid: 0,
                 certificate_lies: 0,
             };
-            for _ in 0..config.benchmarks {
-                let tasks = generate_benchmark(&bench_cfg, &mut rng);
-                if has_certificate_lie(&tasks) {
-                    row.certificate_lies += 1;
-                }
-                let bt = backtracking(&tasks);
-                if let Some(pa) = &bt.assignment {
-                    row.solvable += 1;
-                    if let Some(w) = find_interference_removal_anomaly(&tasks, pa) {
-                        debug_assert!(verify_witness(&tasks, pa, &w));
-                        row.interference_anomalies += 1;
-                    }
-                    if find_priority_raise_anomaly(&tasks, pa).is_some() {
-                        row.priority_raise_anomalies += 1;
-                    }
-                    if audsley_opa(&tasks).assignment.is_none() {
-                        row.opa_incomplete += 1;
-                    }
-                }
-                if let Some(pa) = unsafe_quadratic(&tasks).assignment {
-                    if !is_valid_assignment(&tasks, &pa) {
-                        row.unsafe_invalid += 1;
-                    }
-                }
+            for f in flags {
+                row.solvable += usize::from(f.solvable);
+                row.interference_anomalies += usize::from(f.interference_anomaly);
+                row.priority_raise_anomalies += usize::from(f.priority_raise_anomaly);
+                row.opa_incomplete += usize::from(f.opa_incomplete);
+                row.unsafe_invalid += usize::from(f.unsafe_invalid);
+                row.certificate_lies += usize::from(f.certificate_lie);
             }
             row
         })
@@ -211,6 +271,36 @@ mod tests {
             r.interference_anomalies,
             r.solvable
         );
+    }
+
+    #[test]
+    fn wide_sets_beyond_bitmask_still_work() {
+        // Regression: task counts above csa_core::MEMO_MAX_TASKS must
+        // take the index-set path, not panic on the bitmask width.
+        let rows = run_census(&CensusConfig {
+            task_counts: vec![70],
+            benchmarks: 2,
+            seed: 5,
+        });
+        assert_eq!(rows[0].n, 70);
+        assert!(rows[0].solvable <= 2);
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let cfg = CensusConfig {
+            task_counts: vec![4],
+            benchmarks: 80,
+            seed: 77,
+        };
+        let serial = run_census(&cfg);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                run_census_with_threads(&cfg, threads),
+                "census diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! with the lightly damped oscillator (spikes at `h = k*pi/wd`) and, for
 //! contrast, the DC servo (no pathological periods in range).
 
-use csa_control::{cost_curve, lqg_cost, non_monotone_points, plants, LqgWeights};
+use crate::parallel::parallel_map;
+use csa_control::{lqg_cost, non_monotone_points, plants, LqgWeights, StateSpace};
 
 /// Configuration for the Fig. 2 sweep.
 #[derive(Debug, Clone)]
@@ -91,14 +92,23 @@ impl CostCurve {
     }
 }
 
-/// Runs the Fig. 2 experiment: cost curves for the lightly damped
-/// oscillator (the paper-style curve with spikes) and the DC servo
-/// (contrast).
+/// Runs the Fig. 2 experiment single-threaded (see
+/// [`run_fig2_with_threads`]).
+pub fn run_fig2(config: &Fig2Config) -> Vec<CostCurve> {
+    run_fig2_with_threads(config, 1)
+}
+
+/// Runs the Fig. 2 experiment with the period grid sharded across
+/// `threads` workers (0 = available parallelism): cost curves for the
+/// lightly damped oscillator (the paper-style curve with spikes) and
+/// the DC servo (contrast). Every grid point is an independent LQG
+/// design, so the curves are bit-identical at any thread count.
 ///
 /// # Panics
 ///
-/// Panics only on programming errors (invalid plant construction).
-pub fn run_fig2(config: &Fig2Config) -> Vec<CostCurve> {
+/// Panics only on programming errors (invalid plant construction or a
+/// structural failure in the cost sweep).
+pub fn run_fig2_with_threads(config: &Fig2Config, threads: usize) -> Vec<CostCurve> {
     let periods: Vec<f64> = (0..config.points)
         .map(|k| {
             let t = k as f64 / (config.points - 1) as f64;
@@ -111,16 +121,22 @@ pub fn run_fig2(config: &Fig2Config) -> Vec<CostCurve> {
     let servo = plants::dc_servo().expect("valid plant");
     let servo_weights = LqgWeights::output_regulation(&servo, 1e-1, 1e-6);
 
+    let sweep = |plant: &StateSpace, weights: &LqgWeights| -> Vec<(f64, f64)> {
+        parallel_map(periods.len(), threads, |k| {
+            let h = periods[k];
+            let cost = lqg_cost(plant, weights, h).expect("cost sweep must not fail structurally");
+            (h, cost)
+        })
+    };
+
     vec![
         CostCurve {
             plant: "lightly_damped_oscillator",
-            samples: cost_curve(&oscillator, &osc_weights, &periods)
-                .expect("cost sweep must not fail structurally"),
+            samples: sweep(&oscillator, &osc_weights),
         },
         CostCurve {
             plant: "dc_servo",
-            samples: cost_curve(&servo, &servo_weights, &periods)
-                .expect("cost sweep must not fail structurally"),
+            samples: sweep(&servo, &servo_weights),
         },
     ]
 }
@@ -160,6 +176,21 @@ mod tests {
         // The DC servo curve exists and is finite at short periods.
         let servo = &curves[1];
         assert!(servo.samples.iter().take(10).all(|(_, c)| c.is_finite()));
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        let cfg = Fig2Config {
+            h_min: 0.02,
+            h_max: 0.5,
+            points: 24,
+        };
+        let serial = run_fig2(&cfg);
+        let threaded = run_fig2_with_threads(&cfg, 4);
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.plant, b.plant);
+            assert_eq!(a.samples, b.samples, "curve {} diverged", a.plant);
+        }
     }
 
     #[test]

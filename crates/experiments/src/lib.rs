@@ -2,8 +2,8 @@
 //! DATE 2017 anomalies paper.
 //!
 //! One module per table/figure, each with a paper-scale and a quick
-//! configuration, plus the benchmark generator and the pre-computed
-//! plant margin tables they share:
+//! configuration, plus the benchmark generator, the pre-computed plant
+//! margin tables, and the deterministic parallel driver they share:
 //!
 //! * [`margin_tables`] — `(a, b)` stability coefficients per plant and
 //!   period (cached; the expensive control-theoretic step).
@@ -15,9 +15,15 @@
 //! * [`run_fig4`] — Fig. 4: jitter-margin stability curves + Eq. 5 fits.
 //! * [`run_fig5`] — Fig. 5: runtime of Algorithm 1 vs. Unsafe Quadratic.
 //! * [`run_census`] — anomaly rarity census (supporting §IV's argument).
+//! * [`parallel_map`] / [`instance_seed`] — deterministic sharding of
+//!   benchmark instances across workers: results are bit-identical at
+//!   any thread count because every instance derives its own RNG stream
+//!   from `(seed, n, instance_index)`.
 //!
 //! The `table1`, `fig2`, `fig4`, `fig5`, `census` and `all` binaries wrap
-//! these with console tables and CSV output under `results/`.
+//! these with console tables and CSV output under `results/`; all accept
+//! `--quick` (reduced scale) and `--threads N` (worker count, default:
+//! available parallelism).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,19 +34,21 @@ mod fig2;
 mod fig4;
 mod fig5;
 mod margins;
+mod parallel;
 mod period_opt;
 mod report;
 mod table1;
 
 pub use benchgen::{generate_benchmark, BenchmarkConfig};
-pub use census::{format_census, run_census, CensusConfig, CensusRow};
-pub use fig2::{pathological_cost, run_fig2, CostCurve, Fig2Config};
+pub use census::{format_census, run_census, run_census_with_threads, CensusConfig, CensusRow};
+pub use fig2::{pathological_cost, run_fig2, run_fig2_with_threads, CostCurve, Fig2Config};
 pub use fig4::{run_fig4, Fig4Config, Fig4Curve};
 pub use fig5::{empirical_order, run_fig5, Fig5Config, Fig5Point};
-pub use margins::{margin_tables, MarginEntry, PlantMargins};
+pub use margins::{margin_tables, warm_margin_tables, MarginEntry, PlantMargins};
+pub use parallel::{available_threads, instance_seed, parallel_map};
 pub use period_opt::{
     optimize_period_grid, optimize_period_ternary, run_period_opt, PeriodChoice,
     PeriodOptComparison,
 };
-pub use report::{quick_flag, write_csv, RESULTS_DIR};
-pub use table1::{format_table1, run_table1, Table1Config, Table1Row};
+pub use report::{quick_flag, threads_flag, write_csv, RESULTS_DIR};
+pub use table1::{format_table1, run_table1, run_table1_with_threads, Table1Config, Table1Row};

@@ -7,6 +7,7 @@
 //! cached for the whole process; generators then snap task periods to
 //! grid entries.
 
+use crate::parallel::parallel_map;
 use csa_control::{design_lqg, plants, stability_curve, StabilityFit};
 use std::sync::OnceLock;
 
@@ -79,54 +80,90 @@ fn snap_to_series(h: f64) -> f64 {
 /// }
 /// ```
 pub fn margin_tables() -> &'static [PlantMargins] {
-    TABLES.get_or_init(|| {
-        let pool = plants::benchmark_pool().expect("benchmark pool must construct");
-        let mut tables = Vec::with_capacity(pool.len());
-        for bp in &pool {
-            let (lo, hi) = bp.period_range;
-            let mut entries = Vec::with_capacity(GRID_POINTS);
-            let mut seen = std::collections::BTreeSet::new();
-            for k in 0..GRID_POINTS {
-                let t = k as f64 / (GRID_POINTS - 1) as f64;
-                let h_raw = lo * (hi / lo).powf(t);
-                // Snap to the 1-2-5 engineering series: real deployments
-                // use round sampling periods, and the near-harmonic
-                // relations among them are precisely what lets
-                // response-time fixed-point cascades — and hence the
-                // paper's anomalies — occur at all.
-                let h = snap_to_series(h_raw);
-                if !seen.insert((h * 1e7) as u64) {
-                    continue;
-                }
-                match design_lqg(&bp.plant, &bp.weights, h, 0.0) {
-                    Ok(lqg) => match stability_curve(&bp.plant, &lqg.controller, h, CURVE_POINTS) {
-                        Ok(curve) if curve.delay_margin() > 0.0 => {
-                            let fit = StabilityFit::from_curve(&curve);
-                            entries.push(MarginEntry {
-                                period: h,
-                                a: fit.a,
-                                b: fit.b,
-                            });
-                        }
-                        _ => {}
-                    },
-                    Err(_) => {
-                        // Pathological or unstabilizable period: skip.
-                    }
-                }
+    warm_margin_tables(1)
+}
+
+/// [`margin_tables`], computing the cache (if still cold) with the
+/// `(plant, grid period)` cells sharded across `threads` workers
+/// (0 = available parallelism).
+///
+/// Every cell is an independent LQG design + margin-curve fit, so the
+/// resulting tables are bit-identical at any thread count. Experiment
+/// binaries call this once up front with their `--threads` setting;
+/// later [`margin_tables`] calls from any thread reuse the cache.
+pub fn warm_margin_tables(threads: usize) -> &'static [PlantMargins] {
+    TABLES.get_or_init(|| compute_tables(threads))
+}
+
+/// One margin-table cell: the fitted `(a, b)` pair of `plant` at the
+/// snapped grid period `h`, or `None` when no stabilizing design exists.
+fn compute_cell(bp: &plants::BenchmarkPlant, h: f64) -> Option<MarginEntry> {
+    match design_lqg(&bp.plant, &bp.weights, h, 0.0) {
+        Ok(lqg) => match stability_curve(&bp.plant, &lqg.controller, h, CURVE_POINTS) {
+            Ok(curve) if curve.delay_margin() > 0.0 => {
+                let fit = StabilityFit::from_curve(&curve);
+                Some(MarginEntry {
+                    period: h,
+                    a: fit.a,
+                    b: fit.b,
+                })
             }
-            assert!(
-                !entries.is_empty(),
-                "plant {} has no stabilizable grid period",
-                bp.name
-            );
-            tables.push(PlantMargins {
-                name: bp.name,
-                entries,
-            });
+            _ => None,
+        },
+        // Pathological or unstabilizable period: skip.
+        Err(_) => None,
+    }
+}
+
+fn compute_tables(threads: usize) -> Vec<PlantMargins> {
+    let pool = plants::benchmark_pool().expect("benchmark pool must construct");
+    // Deduplicated snapped grid per plant, flattened into one job list
+    // over all (plant, period) cells so workers stay busy regardless of
+    // how the expensive cells cluster.
+    let mut cells: Vec<(usize, f64)> = Vec::new();
+    for (p, bp) in pool.iter().enumerate() {
+        let (lo, hi) = bp.period_range;
+        let mut seen = std::collections::BTreeSet::new();
+        for k in 0..GRID_POINTS {
+            let t = k as f64 / (GRID_POINTS - 1) as f64;
+            let h_raw = lo * (hi / lo).powf(t);
+            // Snap to the 1-2-5 engineering series: real deployments
+            // use round sampling periods, and the near-harmonic
+            // relations among them are precisely what lets
+            // response-time fixed-point cascades — and hence the
+            // paper's anomalies — occur at all.
+            let h = snap_to_series(h_raw);
+            if !seen.insert((h * 1e7) as u64) {
+                continue;
+            }
+            cells.push((p, h));
         }
-        tables
-    })
+    }
+    let results = parallel_map(cells.len(), threads, |c| {
+        let (p, h) = cells[c];
+        compute_cell(&pool[p], h)
+    });
+    // Reassemble per plant, in grid order.
+    let mut tables: Vec<PlantMargins> = pool
+        .iter()
+        .map(|bp| PlantMargins {
+            name: bp.name,
+            entries: Vec::with_capacity(GRID_POINTS),
+        })
+        .collect();
+    for (&(p, _), entry) in cells.iter().zip(results) {
+        if let Some(entry) = entry {
+            tables[p].entries.push(entry);
+        }
+    }
+    for (bp, table) in pool.iter().zip(&tables) {
+        assert!(
+            !table.entries.is_empty(),
+            "plant {} has no stabilizable grid period",
+            bp.name
+        );
+    }
+    tables
 }
 
 #[cfg(test)]

@@ -37,9 +37,48 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Parses the worker-count flag used by all experiment binaries:
+/// `--threads N` (or `--threads=N`) selects `N` workers for the
+/// parallel sweeps; absent or `0`, the host's available parallelism is
+/// used. Results are bit-identical at every setting — the flag only
+/// trades wall-clock time (see `csa_experiments::parallel_map`).
+pub fn threads_flag() -> usize {
+    parse_threads(std::env::args())
+}
+
+fn parse_threads(args: impl Iterator<Item = String>) -> usize {
+    let args: Vec<String> = args.collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--threads" {
+            args.get(i + 1).map(String::as_str)
+        } else {
+            a.strip_prefix("--threads=")
+        };
+        if let Some(v) = value {
+            match v.parse::<usize>() {
+                Ok(0) | Err(_) => break,
+                Ok(n) => return n,
+            }
+        }
+    }
+    crate::parallel::available_threads()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn threads_flag_parsing() {
+        let parse = |args: &[&str]| parse_threads(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["bin", "--threads", "3"]), 3);
+        assert_eq!(parse(&["bin", "--threads=7", "--quick"]), 7);
+        let default = crate::parallel::available_threads();
+        assert_eq!(parse(&["bin"]), default);
+        assert_eq!(parse(&["bin", "--threads", "0"]), default);
+        assert_eq!(parse(&["bin", "--threads", "soup"]), default);
+        assert_eq!(parse(&["bin", "--threads"]), default);
+    }
 
     #[test]
     fn csv_roundtrip() {

@@ -13,6 +13,7 @@
 //! how often the backtracking algorithm proves the benchmark feasible.
 
 use crate::benchgen::{generate_benchmark, BenchmarkConfig};
+use crate::parallel::{instance_seed, parallel_map};
 use csa_core::{backtracking, is_valid_assignment, unsafe_quadratic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -78,7 +79,17 @@ impl Table1Row {
     }
 }
 
-/// Runs the Table I experiment.
+/// Per-instance outcome, folded into a [`Table1Row`] in index order.
+#[derive(Debug, Clone, Copy)]
+struct InstanceOutcome {
+    invalid: bool,
+    no_solution: bool,
+    backtracking_solved: bool,
+}
+
+/// Runs the Table I experiment single-threaded (see
+/// [`run_table1_with_threads`]; the output is identical at every thread
+/// count).
 ///
 /// # Examples
 ///
@@ -90,12 +101,35 @@ impl Table1Row {
 /// assert!(rows[0].invalid_pct() < 100.0);
 /// ```
 pub fn run_table1(config: &Table1Config) -> Vec<Table1Row> {
+    run_table1_with_threads(config, 1)
+}
+
+/// Runs the Table I experiment sharded across `threads` workers
+/// (0 = available parallelism).
+///
+/// Every benchmark instance draws its generator from
+/// [`instance_seed`]`(config.seed, n, index)`, so the rows are
+/// **bit-identical at any thread count** — the sweep is a pure function
+/// of the configuration.
+pub fn run_table1_with_threads(config: &Table1Config, threads: usize) -> Vec<Table1Row> {
     config
         .task_counts
         .iter()
         .map(|&n| {
-            let mut rng = StdRng::seed_from_u64(config.seed ^ (n as u64) << 32);
             let bench_cfg = BenchmarkConfig::new(n);
+            let outcomes = parallel_map(config.benchmarks, threads, |k| {
+                let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, n, k));
+                let tasks = generate_benchmark(&bench_cfg, &mut rng);
+                let (invalid, no_solution) = match unsafe_quadratic(&tasks).assignment {
+                    Some(pa) => (!is_valid_assignment(&tasks, &pa), false),
+                    None => (false, true),
+                };
+                InstanceOutcome {
+                    invalid,
+                    no_solution,
+                    backtracking_solved: backtracking(&tasks).assignment.is_some(),
+                }
+            });
             let mut row = Table1Row {
                 n,
                 benchmarks: config.benchmarks,
@@ -103,19 +137,10 @@ pub fn run_table1(config: &Table1Config) -> Vec<Table1Row> {
                 no_solution: 0,
                 backtracking_solved: 0,
             };
-            for _ in 0..config.benchmarks {
-                let tasks = generate_benchmark(&bench_cfg, &mut rng);
-                match unsafe_quadratic(&tasks).assignment {
-                    Some(pa) => {
-                        if !is_valid_assignment(&tasks, &pa) {
-                            row.invalid += 1;
-                        }
-                    }
-                    None => row.no_solution += 1,
-                }
-                if backtracking(&tasks).assignment.is_some() {
-                    row.backtracking_solved += 1;
-                }
+            for o in outcomes {
+                row.invalid += usize::from(o.invalid);
+                row.no_solution += usize::from(o.no_solution);
+                row.backtracking_solved += usize::from(o.backtracking_solved);
             }
             row
         })
@@ -217,5 +242,25 @@ mod tests {
             seed: 7,
         };
         assert_eq!(run_table1(&cfg), run_table1(&cfg));
+    }
+
+    #[test]
+    fn thread_count_invariant() {
+        // The determinism contract of the parallel driver: identical
+        // rows at 1, 2 and 4 workers (and at the default worker count).
+        let cfg = Table1Config {
+            task_counts: vec![4, 6],
+            benchmarks: 120,
+            seed: 2017,
+        };
+        let serial = run_table1_with_threads(&cfg, 1);
+        assert_eq!(serial, run_table1(&cfg));
+        for threads in [2, 4, 0] {
+            assert_eq!(
+                serial,
+                run_table1_with_threads(&cfg, threads),
+                "rows diverged at {threads} threads"
+            );
+        }
     }
 }

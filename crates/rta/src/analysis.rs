@@ -13,6 +13,56 @@
 use crate::task::Task;
 use crate::time::Ticks;
 
+/// Largest higher-priority set for which the slice-based entry points run
+/// entirely on a stack-allocated scratch buffer (larger sets fall back to
+/// one heap allocation per call; use [`crate::RtaScratch`] to amortize it).
+const STACK_WINDOWS: usize = 64;
+
+/// Cached release window of one interfering task.
+///
+/// For a task with period `h`, `count = ceil(r / h)` holds for every
+/// response-time iterate `r` with `lo < r <= hi` (where `lo = (count-1)*h`
+/// and `hi = count*h`). The fixed-point kernels test window membership
+/// (two compares) before paying for an integer division, which removes
+/// most divisions from the later iterations of the fixed point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ReleaseWindow {
+    count: u64,
+    lo: u64,
+    hi: u64,
+}
+
+impl ReleaseWindow {
+    /// `ceil(r / period)`, via the cache when `r` is inside the window.
+    #[inline]
+    fn ceil_div(&mut self, r: Ticks, period: Ticks) -> u64 {
+        let rv = r.get();
+        if rv <= self.lo || rv > self.hi {
+            let n = r.div_ceil(period);
+            let h = period.get();
+            self.count = n;
+            // Saturation keeps the invariant conservative: a clamped `hi`
+            // only shrinks the window, a clamped `lo` only disables it.
+            self.hi = h.saturating_mul(n);
+            self.lo = h.saturating_mul(n.saturating_sub(1));
+        }
+        self.count
+    }
+}
+
+/// Runs `f` with a zeroed window buffer of length `n`, on the stack when
+/// `n <= STACK_WINDOWS`.
+#[inline]
+pub(crate) fn with_windows<T>(n: usize, f: impl FnOnce(&mut [ReleaseWindow]) -> T) -> T {
+    if n <= STACK_WINDOWS {
+        let mut buf = [ReleaseWindow::default(); STACK_WINDOWS];
+        f(&mut buf[..n])
+    } else {
+        let mut buf = vec![ReleaseWindow::default(); n];
+        f(&mut buf)
+    }
+}
+
 /// Worst- and best-case response times of one task under a given
 /// higher-priority set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +118,21 @@ pub fn wcrt(task: &Task, hp: &[Task]) -> Option<Ticks> {
 /// `limit` (which also catches over-utilized divergence as long as
 /// `limit` is finite).
 pub fn wcrt_with_limit(task: &Task, hp: &[Task], limit: Ticks) -> Option<Ticks> {
+    with_windows(hp.len(), |w| wcrt_cached(task, hp, limit, w))
+}
+
+/// The WCRT fixed point over a caller-provided window cache.
+///
+/// `windows` must be zeroed, or left over from a previous kernel call
+/// against the *same* `hp` slice (stale windows for a different set would
+/// silently corrupt the cache); its length must equal `hp.len()`.
+pub(crate) fn wcrt_cached(
+    task: &Task,
+    hp: &[Task],
+    limit: Ticks,
+    windows: &mut [ReleaseWindow],
+) -> Option<Ticks> {
+    debug_assert_eq!(hp.len(), windows.len());
     // Start from the total one-shot demand: a valid lower bound on the
     // fixed point that usually converges in a couple of iterations.
     let mut r = task.c_worst() + hp.iter().map(Task::c_worst).sum::<Ticks>();
@@ -75,10 +140,10 @@ pub fn wcrt_with_limit(task: &Task, hp: &[Task], limit: Ticks) -> Option<Ticks> 
         return None;
     }
     loop {
-        let next = task.c_worst()
-            + hp.iter()
-                .map(|j| j.c_worst() * r.div_ceil(j.period()))
-                .sum::<Ticks>();
+        let mut next = task.c_worst();
+        for (j, w) in hp.iter().zip(windows.iter_mut()) {
+            next += j.c_worst() * w.ceil_div(r, j.period());
+        }
         if next > limit {
             return None;
         }
@@ -112,15 +177,26 @@ pub fn wcrt_with_limit(task: &Task, hp: &[Task], limit: Ticks) -> Option<Ticks> 
 /// # }
 /// ```
 pub fn bcrt_from(task: &Task, hp: &[Task], start: Ticks) -> Ticks {
+    with_windows(hp.len(), |w| bcrt_cached(task, hp, start, w))
+}
+
+/// The BCRT fixed point over a caller-provided window cache (same
+/// contract as [`wcrt_cached`]; both directions share the window
+/// invariant, so a buffer warmed by a WCRT run over the same `hp` slice
+/// is directly reusable).
+pub(crate) fn bcrt_cached(
+    task: &Task,
+    hp: &[Task],
+    start: Ticks,
+    windows: &mut [ReleaseWindow],
+) -> Ticks {
+    debug_assert_eq!(hp.len(), windows.len());
     let mut r = start.max(task.c_best());
     loop {
-        let next = task.c_best()
-            + hp.iter()
-                .map(|j| {
-                    let n = r.div_ceil(j.period()).saturating_sub(1);
-                    j.c_best() * n
-                })
-                .sum::<Ticks>();
+        let mut next = task.c_best();
+        for (j, w) in hp.iter().zip(windows.iter_mut()) {
+            next += j.c_best() * w.ceil_div(r, j.period()).saturating_sub(1);
+        }
         let next = next.max(task.c_best());
         if next >= r {
             return r.max(task.c_best());
@@ -149,8 +225,18 @@ pub fn bcrt_from(task: &Task, hp: &[Task], start: Ticks) -> Ticks {
 /// # }
 /// ```
 pub fn response_bounds(task: &Task, hp: &[Task]) -> Option<ResponseBounds> {
-    let w = wcrt(task, hp)?;
-    let b = bcrt_from(task, hp, w);
+    with_windows(hp.len(), |w| response_bounds_cached(task, hp, w))
+}
+
+/// Both fixed points over one caller-provided window cache (the BCRT run
+/// reuses the windows the WCRT run warmed up).
+pub(crate) fn response_bounds_cached(
+    task: &Task,
+    hp: &[Task],
+    windows: &mut [ReleaseWindow],
+) -> Option<ResponseBounds> {
+    let w = wcrt_cached(task, hp, task.period(), windows)?;
+    let b = bcrt_cached(task, hp, w, windows);
     debug_assert!(b <= w, "BCRT must not exceed WCRT");
     Some(ResponseBounds { wcrt: w, bcrt: b })
 }

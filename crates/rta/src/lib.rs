@@ -37,6 +37,7 @@
 mod analysis;
 mod bounds;
 mod generate;
+mod scratch;
 mod task;
 mod time;
 
@@ -46,5 +47,6 @@ pub use bounds::{
     wcrt_with_release_jitter,
 };
 pub use generate::{generate_task_set, random_period, uunifast, TaskSetConfig};
+pub use scratch::RtaScratch;
 pub use task::{hyperperiod, utilization, InvalidTask, Task, TaskId};
 pub use time::{Ticks, TICKS_PER_SECOND};
