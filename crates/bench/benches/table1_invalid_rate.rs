@@ -1,18 +1,23 @@
 //! Table I as a Criterion benchmark: the cost of producing an Unsafe
 //! Quadratic assignment *and verifying it exactly* — the full pipeline
-//! behind each cell of the table — plus benchmark generation itself.
+//! behind each cell of the table — plus benchmark generation itself,
+//! both on the legacy snapped grid and through the continuous-period
+//! margin interpolant (the interpolant evaluation is the new per-task
+//! cost the `continuous` profile adds).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csa_bench::{fixed_benchmark, fixed_benchmarks};
+use csa_bench::{fixed_benchmark, fixed_benchmarks, fixed_benchmarks_with};
 use csa_core::{is_valid_assignment, unsafe_quadratic};
-use csa_experiments::{generate_benchmark, BenchmarkConfig};
+use csa_experiments::{generate_benchmark, BenchmarkConfig, PeriodModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
-    // Force margin-table construction outside the timed region.
+    // Force margin-table and interpolant construction outside the timed
+    // region.
     let _ = fixed_benchmark(4, 1);
+    let _ = fixed_benchmarks_with(4, 1, 1, PeriodModel::Continuous);
 
     let mut group = c.benchmark_group("table1");
     for &n in &[4usize, 8, 12, 16, 20] {
@@ -32,6 +37,11 @@ fn bench_table1(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("generate", n), &n, |b, _| {
             let cfg = BenchmarkConfig::new(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(generate_benchmark(&cfg, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("generate_continuous", n), &n, |b, _| {
+            let cfg = BenchmarkConfig::with_model(n, PeriodModel::Continuous);
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| black_box(generate_benchmark(&cfg, &mut rng)))
         });

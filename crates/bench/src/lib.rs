@@ -7,13 +7,13 @@
 #![forbid(unsafe_code)]
 
 use csa_core::ControlTask;
-use csa_experiments::{generate_benchmark, instance_seed, BenchmarkConfig};
+use csa_experiments::{generate_benchmark, instance_seed, BenchmarkConfig, PeriodModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A deterministic benchmark task set of size `n` (seeded by `n` and
 /// `seed` through the drivers' shared [`instance_seed`] derivation),
-/// drawn from the paper's §V distribution.
+/// drawn from the paper's §V distribution (legacy grid-snapped periods).
 pub fn fixed_benchmark(n: usize, seed: u64) -> Vec<ControlTask> {
     let mut rng = StdRng::seed_from_u64(instance_seed(seed, n, 0));
     generate_benchmark(&BenchmarkConfig::new(n), &mut rng)
@@ -22,12 +22,22 @@ pub fn fixed_benchmark(n: usize, seed: u64) -> Vec<ControlTask> {
 /// A batch of deterministic benchmarks (for averaging inside one
 /// Criterion iteration; instance `k` is seeded by
 /// [`instance_seed`]`(seed, n, k)`, exactly like the experiment
-/// drivers').
+/// drivers'), drawn with legacy grid-snapped periods.
 pub fn fixed_benchmarks(n: usize, count: usize, seed: u64) -> Vec<Vec<ControlTask>> {
+    fixed_benchmarks_with(n, count, seed, PeriodModel::GridSnapped)
+}
+
+/// [`fixed_benchmarks`] under an explicit generator profile.
+pub fn fixed_benchmarks_with(
+    n: usize,
+    count: usize,
+    seed: u64,
+    model: PeriodModel,
+) -> Vec<Vec<ControlTask>> {
     (0..count)
         .map(|k| {
             let mut rng = StdRng::seed_from_u64(instance_seed(seed, n, k));
-            generate_benchmark(&BenchmarkConfig::new(n), &mut rng)
+            generate_benchmark(&BenchmarkConfig::with_model(n, model), &mut rng)
         })
         .collect()
 }

@@ -1,23 +1,35 @@
 //! Runs every experiment in sequence (Table I, Figs. 2/4/5, census).
-//! Pass `--quick` for reduced scales everywhere and `--threads N` to
-//! bound the worker count (default: available parallelism; results are
-//! identical at any setting).
+//! Pass `--quick` for reduced scales everywhere, `--threads N` to bound
+//! the worker count (default: available parallelism; results are
+//! identical at any setting), `--n LIST` to override the task-count
+//! sweeps, and `--profile NAME` to select the
+//! benchmark period model for the benchmark-driven experiments
+//! (Table I, Fig. 5, census; Figs. 2/4 sweep plants directly and have
+//! no benchmark distribution).
 
 use csa_experiments::{
-    format_census, format_table1, quick_flag, run_census_with_threads, run_fig2_with_threads,
-    run_fig4, run_fig5, run_table1_with_threads, threads_flag, warm_margin_tables, CensusConfig,
-    Fig2Config, Fig4Config, Fig5Config, Table1Config,
+    format_census, format_table1, profile_flag, quick_flag, run_census_with_threads,
+    run_fig2_with_threads, run_fig4, run_fig5, run_table1_with_threads, task_counts_flag,
+    threads_flag, warm_interpolated_tables, warm_margin_tables, CensusConfig, Fig2Config,
+    Fig4Config, Fig5Config, PeriodModel, Table1Config,
 };
 
 fn main() {
     let quick = quick_flag();
     let threads = threads_flag();
+    let profile = profile_flag();
+    let task_counts = task_counts_flag();
     eprintln!(
-        "running all experiments ({} scale, {} worker threads)",
+        "running all experiments ({} scale, profile {}, {} worker threads)",
         if quick { "quick" } else { "paper" },
+        profile,
         threads
     );
-    warm_margin_tables(threads);
+    if profile == PeriodModel::GridSnapped {
+        warm_margin_tables(threads);
+    } else {
+        warm_interpolated_tables(threads);
+    }
 
     let fig4 = run_fig4(&if quick {
         Fig4Config::quick()
@@ -53,22 +65,29 @@ fn main() {
         );
     }
 
-    let t1 = run_table1_with_threads(
-        &if quick {
-            Table1Config::quick()
-        } else {
-            Table1Config::paper()
-        },
-        threads,
-    );
+    let mut t1_cfg = if quick {
+        Table1Config::quick()
+    } else {
+        Table1Config::paper()
+    }
+    .with_profile(profile);
+    if let Some(counts) = &task_counts {
+        t1_cfg.task_counts = counts.clone();
+    }
+    let t1 = run_table1_with_threads(&t1_cfg, threads);
     println!("== Table I ==");
     println!("{}", format_table1(&t1));
 
-    let fig5 = run_fig5(&if quick {
+    let mut fig5_cfg = if quick {
         Fig5Config::quick()
     } else {
         Fig5Config::paper()
-    });
+    }
+    .with_profile(profile);
+    if let Some(counts) = &task_counts {
+        fig5_cfg.task_counts = counts.clone();
+    }
+    let fig5 = run_fig5(&fig5_cfg);
     println!("== Fig. 5: runtime ==");
     for p in &fig5 {
         println!(
@@ -79,14 +98,16 @@ fn main() {
         );
     }
 
-    let census = run_census_with_threads(
-        &if quick {
-            CensusConfig::quick()
-        } else {
-            CensusConfig::paper()
-        },
-        threads,
-    );
+    let mut census_cfg = if quick {
+        CensusConfig::quick()
+    } else {
+        CensusConfig::paper()
+    }
+    .with_profile(profile);
+    if let Some(counts) = &task_counts {
+        census_cfg.task_counts = counts.clone();
+    }
+    let census = run_census_with_threads(&census_cfg, threads);
     println!("== Census ==");
     println!("{}", format_census(&census));
 }

@@ -1,28 +1,47 @@
 //! Anomaly-rarity census (supports the paper's §IV/§V argument). Pass
-//! `--quick` for a reduced run and `--threads N` to bound the worker
-//! count (results are identical at any thread count).
+//! `--quick` for a reduced run, `--threads N` to bound the worker count
+//! (results are identical at any thread count), and `--profile NAME`
+//! to select the benchmark period model (`grid-snapped` legacy default,
+//! `continuous`, `harmonic-stress`, `margin-tight`). `--n LIST` (e.g.
+//! `--n 4,8,12`) overrides the task-count sweep. Every anomalous
+//! instance found is serialized as a replayable witness line.
 
 use csa_experiments::{
-    format_census, quick_flag, run_census_with_threads, threads_flag, warm_margin_tables,
-    write_csv, CensusConfig,
+    format_census, profile_flag, quick_flag, run_census_collecting, task_counts_flag, threads_flag,
+    warm_interpolated_tables, warm_margin_tables, write_csv, write_witness_file, CensusConfig,
+    PeriodModel,
 };
 
 fn main() -> std::io::Result<()> {
-    let config = if quick_flag() {
+    let profile = profile_flag();
+    let mut config = if quick_flag() {
         CensusConfig::quick()
     } else {
         CensusConfig::paper()
-    };
+    }
+    .with_profile(profile);
+    if let Some(counts) = task_counts_flag() {
+        config.task_counts = counts;
+    }
     let threads = threads_flag();
     eprintln!(
-        "census: {} benchmarks per n over n = {:?} ({} worker threads)",
-        config.benchmarks, config.task_counts, threads
+        "census: {} benchmarks per n over n = {:?} (profile {}, {} worker threads)",
+        config.benchmarks, config.task_counts, profile, threads
     );
-    warm_margin_tables(threads);
-    let rows = run_census_with_threads(&config, threads);
+    if profile == PeriodModel::GridSnapped {
+        warm_margin_tables(threads);
+    } else {
+        warm_interpolated_tables(threads);
+    }
+    let (rows, witnesses) = run_census_collecting(&config, threads);
     println!("{}", format_census(&rows));
+    let csv_name = if profile == PeriodModel::GridSnapped {
+        "census.csv".to_string()
+    } else {
+        format!("census_{profile}.csv")
+    };
     let path = write_csv(
-        "census.csv",
+        &csv_name,
         "n,benchmarks,solvable,interference_anomalies,priority_raise_anomalies,opa_incomplete,unsafe_invalid,certificate_lies",
         rows.iter().map(|r| {
             format!(
@@ -39,5 +58,13 @@ fn main() -> std::io::Result<()> {
         }),
     )?;
     eprintln!("wrote {}", path.display());
+    if !witnesses.is_empty() {
+        let wpath = write_witness_file(&format!("witnesses_census_{profile}.txt"), &witnesses)?;
+        eprintln!(
+            "wrote {} anomalous-instance witness(es) to {}",
+            witnesses.len(),
+            wpath.display()
+        );
+    }
     Ok(())
 }

@@ -1,23 +1,35 @@
 //! Regenerates the paper's Fig. 5 (assignment runtime vs. task count).
-//! Pass `--quick` for a reduced run. `--threads N` only affects the
-//! margin-table warm-up: the timing loop itself is single-threaded so
-//! workers cannot perturb the measured runtimes.
+//! Pass `--quick` for a reduced run, `--profile NAME` to select the
+//! benchmark period model, and `--n LIST` (e.g. `--n 4,8,12`) to
+//! override the task-count sweep. `--threads N` only affects the margin-table
+//! warm-up: the timing loop itself is single-threaded so workers cannot
+//! perturb the measured runtimes.
 
 use csa_experiments::{
-    empirical_order, quick_flag, run_fig5, threads_flag, warm_margin_tables, write_csv, Fig5Config,
+    empirical_order, profile_flag, quick_flag, run_fig5, task_counts_flag, threads_flag,
+    warm_interpolated_tables, warm_margin_tables, write_csv, Fig5Config, PeriodModel,
 };
 
 fn main() -> std::io::Result<()> {
-    let config = if quick_flag() {
+    let profile = profile_flag();
+    let mut config = if quick_flag() {
         Fig5Config::quick()
     } else {
         Fig5Config::paper()
-    };
+    }
+    .with_profile(profile);
+    if let Some(counts) = task_counts_flag() {
+        config.task_counts = counts;
+    }
     eprintln!(
-        "fig5: {} benchmarks per n over n = {:?}",
-        config.benchmarks, config.task_counts
+        "fig5: {} benchmarks per n over n = {:?} (profile {})",
+        config.benchmarks, config.task_counts, profile
     );
-    warm_margin_tables(threads_flag());
+    if profile == PeriodModel::GridSnapped {
+        warm_margin_tables(threads_flag());
+    } else {
+        warm_interpolated_tables(threads_flag());
+    }
     let points = run_fig5(&config);
     println!(
         "{:>4} {:>16} {:>16} {:>12} {:>10} {:>12} {:>10}",
@@ -48,8 +60,13 @@ fn main() -> std::io::Result<()> {
             .collect::<Vec<_>>(),
     );
     println!("empirical check-count order: backtracking n^{bt_order:.2}, unsafe n^{uq_order:.2}");
+    let csv_name = if profile == PeriodModel::GridSnapped {
+        "fig5.csv".to_string()
+    } else {
+        format!("fig5_{profile}.csv")
+    };
     let path = write_csv(
-        "fig5.csv",
+        &csv_name,
         "n,backtracking_us,unsafe_quadratic_us,backtracking_checks,backtracking_cache_hits,unsafe_checks,backtracks",
         points.iter().map(|p| {
             format!(

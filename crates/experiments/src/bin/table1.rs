@@ -1,28 +1,47 @@
-//! Regenerates the paper's Table I. Pass `--quick` for a reduced run
-//! and `--threads N` to bound the worker count (results are identical
-//! at any thread count).
+//! Regenerates the paper's Table I. Pass `--quick` for a reduced run,
+//! `--threads N` to bound the worker count (results are identical at
+//! any thread count), and `--profile NAME` to select the benchmark
+//! period model (`grid-snapped` legacy default, `continuous`,
+//! `harmonic-stress`, `margin-tight`). `--n LIST` (e.g. `--n 4,8,12`)
+//! overrides the task-count sweep. Every invalid instance found is
+//! serialized as a replayable witness line.
 
 use csa_experiments::{
-    format_table1, quick_flag, run_table1_with_threads, threads_flag, warm_margin_tables,
-    write_csv, Table1Config,
+    format_table1, profile_flag, quick_flag, run_table1_collecting, task_counts_flag, threads_flag,
+    warm_interpolated_tables, warm_margin_tables, write_csv, write_witness_file, PeriodModel,
+    Table1Config,
 };
 
 fn main() -> std::io::Result<()> {
-    let config = if quick_flag() {
+    let profile = profile_flag();
+    let mut config = if quick_flag() {
         Table1Config::quick()
     } else {
         Table1Config::paper()
-    };
+    }
+    .with_profile(profile);
+    if let Some(counts) = task_counts_flag() {
+        config.task_counts = counts;
+    }
     let threads = threads_flag();
     eprintln!(
-        "table1: {} benchmarks per n over n = {:?} (seed {}, {} worker threads)",
-        config.benchmarks, config.task_counts, config.seed, threads
+        "table1: {} benchmarks per n over n = {:?} (seed {}, profile {}, {} worker threads)",
+        config.benchmarks, config.task_counts, config.seed, profile, threads
     );
-    warm_margin_tables(threads);
-    let rows = run_table1_with_threads(&config, threads);
+    if profile == PeriodModel::GridSnapped {
+        warm_margin_tables(threads);
+    } else {
+        warm_interpolated_tables(threads);
+    }
+    let (rows, witnesses) = run_table1_collecting(&config, threads);
     println!("{}", format_table1(&rows));
+    let csv_name = if profile == PeriodModel::GridSnapped {
+        "table1.csv".to_string()
+    } else {
+        format!("table1_{profile}.csv")
+    };
     let path = write_csv(
-        "table1.csv",
+        &csv_name,
         "n,benchmarks,invalid,no_solution,backtracking_solved,invalid_pct",
         rows.iter().map(|r| {
             format!(
@@ -37,5 +56,13 @@ fn main() -> std::io::Result<()> {
         }),
     )?;
     eprintln!("wrote {}", path.display());
+    if !witnesses.is_empty() {
+        let wpath = write_witness_file(&format!("witnesses_table1_{profile}.txt"), &witnesses)?;
+        eprintln!(
+            "wrote {} invalid-instance witness(es) to {}",
+            witnesses.len(),
+            wpath.display()
+        );
+    }
     Ok(())
 }

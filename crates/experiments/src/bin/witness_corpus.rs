@@ -1,0 +1,77 @@
+//! Regenerates the committed witness corpus: sweeps the benchmark
+//! distributions for anomalous instances and serializes them as
+//! replayable witness lines.
+//!
+//! ```text
+//! witness_corpus [--profile NAME] [--n LIST] [--benchmarks K] [--seed S] [--threads T]
+//! ```
+//!
+//! Output goes to `results/witness_corpus_<profile>.txt`; the curated
+//! copy lives in `crates/experiments/tests/data/` and is pinned by the
+//! `witness_replay` regression suite. Regenerate and re-commit it only
+//! when the generator intentionally changes (the replay test pins
+//! bit-identical regeneration).
+
+use csa_experiments::{
+    profile_flag, quick_flag, run_census_collecting, task_counts_flag, threads_flag,
+    warm_interpolated_tables, warm_margin_tables, write_witness_file, CensusConfig, PeriodModel,
+};
+
+/// Strict `--flag VALUE` / `--flag=VALUE` u64 parser: a present flag
+/// with a malformed value aborts instead of silently falling back — the
+/// corpus this binary writes becomes a committed regression surface.
+fn u64_arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == name {
+            Some(args.get(i + 1).map(String::as_str).unwrap_or(""))
+        } else {
+            a.strip_prefix(&format!("{name}="))
+        };
+        if let Some(v) = value {
+            return v.parse().unwrap_or_else(|_| {
+                eprintln!("bad {name} value {v:?}; expected an unsigned integer");
+                std::process::exit(2);
+            });
+        }
+    }
+    default
+}
+
+fn main() -> std::io::Result<()> {
+    let profile = profile_flag();
+    let task_counts = task_counts_flag().unwrap_or_else(|| vec![4]);
+    let benchmarks = u64_arg("--benchmarks", if quick_flag() { 500 } else { 20_000 }) as usize;
+    let seed = u64_arg("--seed", 77);
+    let threads = threads_flag();
+    let config = CensusConfig {
+        task_counts,
+        benchmarks,
+        seed,
+        profile,
+    };
+    eprintln!(
+        "witness-corpus: {benchmarks} benchmarks per n over n = {:?} (seed {seed}, profile {profile}, {threads} worker threads)",
+        config.task_counts
+    );
+    if profile == PeriodModel::GridSnapped {
+        warm_margin_tables(threads);
+    } else {
+        warm_interpolated_tables(threads);
+    }
+    let (rows, witnesses) = run_census_collecting(&config, threads);
+    for r in &rows {
+        eprintln!(
+            "n = {}: {} certificate lies, {} unsafe-invalid, {} interference anomalies, {} priority-raise, {} opa-incomplete",
+            r.n, r.certificate_lies, r.unsafe_invalid, r.interference_anomalies,
+            r.priority_raise_anomalies, r.opa_incomplete
+        );
+    }
+    let path = write_witness_file(&format!("witness_corpus_{profile}.txt"), &witnesses)?;
+    eprintln!(
+        "wrote {} witness(es) to {}",
+        witnesses.len(),
+        path.display()
+    );
+    Ok(())
+}

@@ -12,8 +12,9 @@
 //! * how often Unsafe Quadratic emits an invalid assignment (Table I's
 //!   quantity, re-measured here per benchmark).
 
-use crate::benchgen::{generate_benchmark, BenchmarkConfig};
+use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
 use crate::parallel::{instance_seed, parallel_map};
+use crate::witness::{Witness, WitnessKind};
 use csa_core::{
     audsley_opa, backtracking, find_interference_removal_anomaly, find_priority_raise_anomaly,
     is_valid_assignment, unsafe_quadratic, verify_witness, ControlTask, StabilityChecker,
@@ -30,16 +31,20 @@ pub struct CensusConfig {
     pub benchmarks: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Benchmark generator profile.
+    pub profile: PeriodModel,
 }
 
 impl CensusConfig {
     /// Default census: n in {4, 8, 12, 16, 20}, 20 000 benchmarks each —
-    /// enough samples to resolve per-mille anomaly rates.
+    /// enough samples to resolve per-mille anomaly rates — on the legacy
+    /// grid-snapped distribution.
     pub fn paper() -> Self {
         CensusConfig {
             task_counts: vec![4, 8, 12, 16, 20],
             benchmarks: 20_000,
             seed: 77,
+            profile: PeriodModel::GridSnapped,
         }
     }
 
@@ -49,7 +54,14 @@ impl CensusConfig {
             task_counts: vec![4, 8],
             benchmarks: 300,
             seed: 77,
+            profile: PeriodModel::GridSnapped,
         }
+    }
+
+    /// The same configuration under a different generator profile.
+    pub fn with_profile(mut self, profile: PeriodModel) -> Self {
+        self.profile = profile;
+        self
     }
 }
 
@@ -80,12 +92,17 @@ pub struct CensusRow {
 /// Does the benchmark contain a task that is stable under maximum
 /// interference yet unstable after removing a single other task?
 ///
+/// This is the raw event behind the paper's Table I (a worst-case
+/// monotonicity certificate that lies), measured independently of any
+/// assignment heuristic's trajectory; the witness replay tests pin the
+/// corpus instances with it.
+///
 /// Runs `O(n^2)` exact checks on one memoizing [`StabilityChecker`]:
 /// the scratch keeps the whole scan allocation-free, and the bitmask
 /// subsets cost nothing to form. Sets wider than the bitmask
 /// (`csa_core::MEMO_MAX_TASKS`, far above any stock configuration)
 /// take the index-set path so arbitrary task counts keep working.
-fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
+pub fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
     let n = tasks.len();
     let mut checker = StabilityChecker::new(tasks);
     if checker.memoized() {
@@ -119,8 +136,9 @@ fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
 }
 
 /// Per-instance census flags, folded into a [`CensusRow`] in index
-/// order.
-#[derive(Debug, Clone, Copy)]
+/// order. `witness_tasks` carries the task set only for instances that
+/// triggered at least one witness-worthy event.
+#[derive(Debug, Clone)]
 struct InstanceFlags {
     solvable: bool,
     interference_anomaly: bool,
@@ -128,6 +146,7 @@ struct InstanceFlags {
     opa_incomplete: bool,
     unsafe_invalid: bool,
     certificate_lie: bool,
+    witness_tasks: Option<Vec<ControlTask>>,
 }
 
 /// Runs the census single-threaded (see [`run_census_with_threads`]).
@@ -139,11 +158,22 @@ pub fn run_census(config: &CensusConfig) -> Vec<CensusRow> {
 /// parallelism); per-instance seeds make the rows bit-identical at any
 /// thread count.
 pub fn run_census_with_threads(config: &CensusConfig, threads: usize) -> Vec<CensusRow> {
-    config
+    run_census_collecting(config, threads).0
+}
+
+/// [`run_census_with_threads`], additionally returning a replayable
+/// [`Witness`] for every anomalous event found, ordered by `(n, index)`
+/// and by [`WitnessKind`] within one instance.
+pub fn run_census_collecting(
+    config: &CensusConfig,
+    threads: usize,
+) -> (Vec<CensusRow>, Vec<Witness>) {
+    let mut witnesses = Vec::new();
+    let rows = config
         .task_counts
         .iter()
         .map(|&n| {
-            let bench_cfg = BenchmarkConfig::new(n);
+            let bench_cfg = BenchmarkConfig::with_model(n, config.profile);
             let flags = parallel_map(config.benchmarks, threads, |k| {
                 let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, n, k));
                 let tasks = generate_benchmark(&bench_cfg, &mut rng);
@@ -172,6 +202,11 @@ pub fn run_census_with_threads(config: &CensusConfig, threads: usize) -> Vec<Cen
                     Some(pa) => !is_valid_assignment(&tasks, &pa),
                     None => false,
                 };
+                let witnessed = interference_anomaly
+                    || priority_raise_anomaly
+                    || opa_incomplete
+                    || unsafe_invalid
+                    || certificate_lie;
                 InstanceFlags {
                     solvable,
                     interference_anomaly,
@@ -179,6 +214,7 @@ pub fn run_census_with_threads(config: &CensusConfig, threads: usize) -> Vec<Cen
                     opa_incomplete,
                     unsafe_invalid,
                     certificate_lie,
+                    witness_tasks: witnessed.then_some(tasks),
                 }
             });
             let mut row = CensusRow {
@@ -191,17 +227,39 @@ pub fn run_census_with_threads(config: &CensusConfig, threads: usize) -> Vec<Cen
                 unsafe_invalid: 0,
                 certificate_lies: 0,
             };
-            for f in flags {
+            for (k, f) in flags.into_iter().enumerate() {
                 row.solvable += usize::from(f.solvable);
                 row.interference_anomalies += usize::from(f.interference_anomaly);
                 row.priority_raise_anomalies += usize::from(f.priority_raise_anomaly);
                 row.opa_incomplete += usize::from(f.opa_incomplete);
                 row.unsafe_invalid += usize::from(f.unsafe_invalid);
                 row.certificate_lies += usize::from(f.certificate_lie);
+                if let Some(tasks) = f.witness_tasks {
+                    let kinds = [
+                        (f.unsafe_invalid, WitnessKind::UnsafeInvalid),
+                        (f.interference_anomaly, WitnessKind::InterferenceAnomaly),
+                        (f.priority_raise_anomaly, WitnessKind::PriorityRaiseAnomaly),
+                        (f.opa_incomplete, WitnessKind::OpaIncomplete),
+                        (f.certificate_lie, WitnessKind::CertificateLie),
+                    ];
+                    for (hit, kind) in kinds {
+                        if hit {
+                            witnesses.push(Witness {
+                                kind,
+                                profile: config.profile,
+                                seed: config.seed,
+                                n,
+                                index: k,
+                                tasks: tasks.clone(),
+                            });
+                        }
+                    }
+                }
             }
             row
         })
-        .collect()
+        .collect();
+    (rows, witnesses)
 }
 
 /// Formats the census as a readable table.
@@ -258,6 +316,7 @@ mod tests {
             task_counts: vec![4],
             benchmarks: 150,
             seed: 5,
+            profile: PeriodModel::GridSnapped,
         });
         let r = &rows[0];
         assert!(r.solvable <= r.benchmarks);
@@ -281,6 +340,7 @@ mod tests {
             task_counts: vec![70],
             benchmarks: 2,
             seed: 5,
+            profile: PeriodModel::GridSnapped,
         });
         assert_eq!(rows[0].n, 70);
         assert!(rows[0].solvable <= 2);
@@ -292,14 +352,40 @@ mod tests {
             task_counts: vec![4],
             benchmarks: 80,
             seed: 77,
+            profile: PeriodModel::Continuous,
         };
-        let serial = run_census(&cfg);
+        let (serial, serial_wits) = run_census_collecting(&cfg, 1);
         for threads in [2, 4] {
-            assert_eq!(
-                serial,
-                run_census_with_threads(&cfg, threads),
-                "census diverged at {threads} threads"
-            );
+            let (rows, wits) = run_census_collecting(&cfg, threads);
+            assert_eq!(serial, rows, "census diverged at {threads} threads");
+            assert_eq!(serial_wits, wits, "witnesses diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn witnesses_are_consistent_with_counts() {
+        let cfg = CensusConfig {
+            task_counts: vec![4],
+            benchmarks: 200,
+            seed: 77,
+            profile: PeriodModel::MarginTight,
+        };
+        let (rows, wits) = run_census_collecting(&cfg, 0);
+        let count = |kind| wits.iter().filter(|w| w.kind == kind).count();
+        assert_eq!(count(WitnessKind::UnsafeInvalid), rows[0].unsafe_invalid);
+        assert_eq!(
+            count(WitnessKind::InterferenceAnomaly),
+            rows[0].interference_anomalies
+        );
+        assert_eq!(
+            count(WitnessKind::PriorityRaiseAnomaly),
+            rows[0].priority_raise_anomalies
+        );
+        assert_eq!(count(WitnessKind::OpaIncomplete), rows[0].opa_incomplete);
+        assert_eq!(count(WitnessKind::CertificateLie), rows[0].certificate_lies);
+        for w in &wits {
+            assert_eq!(w.profile, cfg.profile);
+            assert_eq!(w.tasks.len(), w.n);
         }
     }
 

@@ -7,7 +7,7 @@
 //! (quadratic on average for both) and the closeness of the two
 //! algorithms (see EXPERIMENTS.md).
 
-use crate::benchgen::{generate_benchmark, BenchmarkConfig};
+use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
 use crate::parallel::instance_seed;
 use csa_core::{backtracking, unsafe_quadratic};
 use rand::rngs::StdRng;
@@ -23,15 +23,19 @@ pub struct Fig5Config {
     pub benchmarks: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Benchmark generator profile.
+    pub profile: PeriodModel,
 }
 
 impl Fig5Config {
-    /// Paper-style sweep: n = 4, 6, ..., 20.
+    /// Paper-style sweep: n = 4, 6, ..., 20 on the legacy grid-snapped
+    /// distribution.
     pub fn paper() -> Self {
         Fig5Config {
             task_counts: (2..=10).map(|k| 2 * k).collect(),
             benchmarks: 2_000,
             seed: 5,
+            profile: PeriodModel::GridSnapped,
         }
     }
 
@@ -41,7 +45,14 @@ impl Fig5Config {
             task_counts: vec![4, 8, 12],
             benchmarks: 100,
             seed: 5,
+            profile: PeriodModel::GridSnapped,
         }
+    }
+
+    /// The same configuration under a different generator profile.
+    pub fn with_profile(mut self, profile: PeriodModel) -> Self {
+        self.profile = profile;
+        self
     }
 }
 
@@ -77,7 +88,7 @@ pub fn run_fig5(config: &Fig5Config) -> Vec<Fig5Point> {
         .task_counts
         .iter()
         .map(|&n| {
-            let bench_cfg = BenchmarkConfig::new(n);
+            let bench_cfg = BenchmarkConfig::with_model(n, config.profile);
             let benchmarks: Vec<_> = (0..config.benchmarks)
                 .map(|k| {
                     let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, n, k));
@@ -147,6 +158,7 @@ mod tests {
             task_counts: vec![4, 8, 12],
             benchmarks: 60,
             seed: 1,
+            profile: PeriodModel::GridSnapped,
         });
         assert_eq!(pts.len(), 3);
         // Work grows with n.
@@ -173,11 +185,15 @@ mod tests {
 
     #[test]
     fn average_complexity_is_roughly_quadratic() {
-        // The paper's §V claim on Algorithm 1.
+        // The paper's §V claim on Algorithm 1 — measured on the
+        // grid-snapped distribution the claim was calibrated on. The
+        // continuous profiles have a much heavier backtracking tail
+        // (borderline margin sets); see EXPERIMENTS.md.
         let pts = run_fig5(&Fig5Config {
             task_counts: vec![4, 8, 12, 16],
             benchmarks: 80,
             seed: 3,
+            profile: PeriodModel::GridSnapped,
         });
         let data: Vec<(f64, f64)> = pts
             .iter()

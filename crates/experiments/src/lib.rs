@@ -5,16 +5,25 @@
 //! configuration, plus the benchmark generator, the pre-computed plant
 //! margin tables, and the deterministic parallel driver they share:
 //!
-//! * [`margin_tables`] — `(a, b)` stability coefficients per plant and
-//!   period (cached; the expensive control-theoretic step).
+//! * [`margin_tables`] — `(a, b)` stability coefficients per plant on the
+//!   legacy snapped period grid (cached; the expensive control-theoretic
+//!   step).
+//! * [`interpolated_tables`] — the continuous-period subsystem: validated
+//!   monotone interpolants giving conservative `(a, b)` at *any*
+//!   stabilizable period (see DESIGN.md §3).
 //! * [`generate_benchmark`] — the §V benchmark distribution (UUniFast
-//!   utilizations, pool plants, grid periods).
+//!   utilizations, pool plants) under a pluggable [`PeriodModel`]
+//!   profile: legacy `grid-snapped`, `continuous`, `harmonic-stress`, or
+//!   `margin-tight` periods.
 //! * [`run_table1`] — Table I: invalid-solution rate of Unsafe Quadratic.
 //! * [`run_fig2`] — Fig. 2: LQG cost vs. sampling period (trend,
 //!   non-monotonicity, pathological spikes).
 //! * [`run_fig4`] — Fig. 4: jitter-margin stability curves + Eq. 5 fits.
 //! * [`run_fig5`] — Fig. 5: runtime of Algorithm 1 vs. Unsafe Quadratic.
 //! * [`run_census`] — anomaly rarity census (supporting §IV's argument).
+//! * [`Witness`] — replayable serialization of every invalid/anomalous
+//!   instance a sweep finds; the committed corpus pins them as
+//!   regression tests.
 //! * [`parallel_map`] / [`instance_seed`] — deterministic sharding of
 //!   benchmark instances across workers: results are bit-identical at
 //!   any thread count because every instance derives its own RNG stream
@@ -23,7 +32,9 @@
 //! The `table1`, `fig2`, `fig4`, `fig5`, `census` and `all` binaries wrap
 //! these with console tables and CSV output under `results/`; all accept
 //! `--quick` (reduced scale) and `--threads N` (worker count, default:
-//! available parallelism).
+//! available parallelism), and the benchmark-driven ones (`table1`,
+//! `fig5`, `census`, `all`) also `--profile NAME` (period model,
+//! default: `grid-snapped`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,17 +49,30 @@ mod parallel;
 mod period_opt;
 mod report;
 mod table1;
+mod witness;
 
-pub use benchgen::{generate_benchmark, BenchmarkConfig};
-pub use census::{format_census, run_census, run_census_with_threads, CensusConfig, CensusRow};
+pub use benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
+pub use census::{
+    format_census, has_certificate_lie, run_census, run_census_collecting, run_census_with_threads,
+    CensusConfig, CensusRow,
+};
 pub use fig2::{pathological_cost, run_fig2, run_fig2_with_threads, CostCurve, Fig2Config};
 pub use fig4::{run_fig4, Fig4Config, Fig4Curve};
 pub use fig5::{empirical_order, run_fig5, Fig5Config, Fig5Point};
-pub use margins::{margin_tables, warm_margin_tables, MarginEntry, PlantMargins};
+pub use margins::{
+    fresh_margin_fit, interpolated_tables, margin_tables, warm_interpolated_tables,
+    warm_margin_tables, InterpSegmentRun, MarginEntry, MarginInterp, PlantMargins,
+};
 pub use parallel::{available_threads, instance_seed, parallel_map};
 pub use period_opt::{
     optimize_period_grid, optimize_period_ternary, run_period_opt, PeriodChoice,
     PeriodOptComparison,
 };
-pub use report::{quick_flag, threads_flag, write_csv, RESULTS_DIR};
-pub use table1::{format_table1, run_table1, run_table1_with_threads, Table1Config, Table1Row};
+pub use report::{
+    profile_flag, quick_flag, task_counts_flag, threads_flag, write_csv, RESULTS_DIR,
+};
+pub use table1::{
+    format_table1, run_table1, run_table1_collecting, run_table1_with_threads, Table1Config,
+    Table1Row,
+};
+pub use witness::{parse_witness_corpus, write_witness_file, Witness, WitnessKind};

@@ -2,19 +2,37 @@
 //!
 //! Computing a jitter-margin curve is the expensive step of benchmark
 //! generation (LQG design + delay-margin bisection + frequency sweeps).
-//! The paper's experiments draw thousands of benchmarks, so each plant's
-//! `(a, b)` coefficients are computed once on a per-plant period grid and
-//! cached for the whole process; generators then snap task periods to
-//! grid entries.
+//! The paper's experiments draw thousands of benchmarks, so the plant
+//! pool's `(a, b)` coefficients are computed once per process and cached.
+//! Two caches exist:
+//!
+//! * [`margin_tables`] — the legacy snapped grid: ~10 periods per plant,
+//!   snapped to the 1-2-5 engineering series. The `GridSnapped`
+//!   benchmark profile draws directly from these entries and must stay
+//!   bit-identical across releases (seeded experiment outputs are part
+//!   of the regression surface).
+//! * [`interpolated_tables`] — the continuous-period subsystem: a denser
+//!   raw (un-snapped) grid per plant plus a monotone PCHIP interpolant
+//!   in log-period, able to evaluate conservative `(a, b)` coefficients
+//!   at *any* stabilizable period. The `Continuous`, `HarmonicStress`
+//!   and `MarginTight` profiles draw from it (see DESIGN.md §3).
 
 use crate::parallel::parallel_map;
 use csa_control::{design_lqg, plants, stability_curve, StabilityFit};
+use rand::Rng;
 use std::sync::OnceLock;
 
-/// Number of grid periods per plant.
+/// Number of grid periods per plant (legacy snapped grid).
 const GRID_POINTS: usize = 10;
+/// Number of raw grid knots per plant (continuous-period subsystem).
+const DENSE_GRID_POINTS: usize = 14;
 /// Number of latency samples per stability curve.
 const CURVE_POINTS: usize = 15;
+/// Extra multiplicative safety applied on top of the measured
+/// conservatism factors: interpolated `b` is shrunk and `a` inflated by
+/// this fraction beyond what the held-out midpoint validation demands,
+/// covering wiggle between validation points.
+const INTERP_SAFETY: f64 = 0.05;
 
 /// Stability coefficients of one plant at one sampling period.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,25 +56,36 @@ pub struct PlantMargins {
 }
 
 static TABLES: OnceLock<Vec<PlantMargins>> = OnceLock::new();
+static INTERP: OnceLock<Vec<MarginInterp>> = OnceLock::new();
 
 /// Round sampling periods used in practice (seconds), a 1-2-5-style
 /// engineering series from 1 ms to 100 ms.
-const PERIOD_SERIES: [f64; 14] = [
+pub(crate) const PERIOD_SERIES: [f64; 14] = [
     0.001, 0.002, 0.0025, 0.004, 0.005, 0.008, 0.010, 0.020, 0.025, 0.040, 0.050, 0.080, 0.100,
     0.200,
 ];
 
-/// Snaps a raw period to the nearest member of [`PERIOD_SERIES`] (in log
-/// distance).
-fn snap_to_series(h: f64) -> f64 {
-    *PERIOD_SERIES
-        .iter()
-        .min_by(|&&x, &&y| {
-            let dx = (x.ln() - h.ln()).abs();
-            let dy = (y.ln() - h.ln()).abs();
-            dx.partial_cmp(&dy).unwrap()
+/// Index of the [`PERIOD_SERIES`] member nearest to `h` in log distance.
+///
+/// NaN-safe by `f64::total_cmp` (the former `partial_cmp(..).unwrap()`
+/// would panic on a NaN distance); a NaN input deterministically selects
+/// one series member instead of crashing the generator.
+fn snap_index(h: f64) -> usize {
+    (0..PERIOD_SERIES.len())
+        .min_by(|&x, &y| {
+            let dx = (PERIOD_SERIES[x].ln() - h.ln()).abs();
+            let dy = (PERIOD_SERIES[y].ln() - h.ln()).abs();
+            dx.total_cmp(&dy)
         })
         .expect("series is non-empty")
+}
+
+/// Snaps a raw period to the nearest member of [`PERIOD_SERIES`] (in log
+/// distance). The production grid uses [`snap_index`] directly; this
+/// wrapper backs the NaN-safety regression test.
+#[cfg(test)]
+fn snap_to_series(h: f64) -> f64 {
+    PERIOD_SERIES[snap_index(h)]
 }
 
 /// The margin tables of the full benchmark pool, computed on first use
@@ -96,7 +125,7 @@ pub fn warm_margin_tables(threads: usize) -> &'static [PlantMargins] {
 }
 
 /// One margin-table cell: the fitted `(a, b)` pair of `plant` at the
-/// snapped grid period `h`, or `None` when no stabilizing design exists.
+/// period `h`, or `None` when no stabilizing design exists.
 fn compute_cell(bp: &plants::BenchmarkPlant, h: f64) -> Option<MarginEntry> {
     match design_lqg(&bp.plant, &bp.weights, h, 0.0) {
         Ok(lqg) => match stability_curve(&bp.plant, &lqg.controller, h, CURVE_POINTS) {
@@ -123,7 +152,7 @@ fn compute_tables(threads: usize) -> Vec<PlantMargins> {
     let mut cells: Vec<(usize, f64)> = Vec::new();
     for (p, bp) in pool.iter().enumerate() {
         let (lo, hi) = bp.period_range;
-        let mut seen = std::collections::BTreeSet::new();
+        let mut seen = [false; PERIOD_SERIES.len()];
         for k in 0..GRID_POINTS {
             let t = k as f64 / (GRID_POINTS - 1) as f64;
             let h_raw = lo * (hi / lo).powf(t);
@@ -131,12 +160,15 @@ fn compute_tables(threads: usize) -> Vec<PlantMargins> {
             // use round sampling periods, and the near-harmonic
             // relations among them are precisely what lets
             // response-time fixed-point cascades — and hence the
-            // paper's anomalies — occur at all.
-            let h = snap_to_series(h_raw);
-            if !seen.insert((h * 1e7) as u64) {
+            // paper's anomalies — occur at all. Dedup by series
+            // *index*: the former float key `(h * 1e7) as u64` could
+            // alias distinct periods once the grid densifies.
+            let idx = snap_index(h_raw);
+            if seen[idx] {
                 continue;
             }
-            cells.push((p, h));
+            seen[idx] = true;
+            cells.push((p, PERIOD_SERIES[idx]));
         }
     }
     let results = parallel_map(cells.len(), threads, |c| {
@@ -166,9 +198,386 @@ fn compute_tables(threads: usize) -> Vec<PlantMargins> {
     tables
 }
 
+// ---------------------------------------------------------------------------
+// Continuous-period subsystem: dense raw grid + monotone interpolation.
+// ---------------------------------------------------------------------------
+
+/// One contiguous stabilizable span of a plant's dense grid, carrying a
+/// shape-preserving (Fritsch–Carlson PCHIP) cubic Hermite interpolant of
+/// the `(a, b)` coefficients in log-period, with *per-segment*
+/// conservatism factors derived from held-out midpoint validation.
+///
+/// Factors are per segment on purpose: margin curves have local cliffs
+/// (the fitted `a` can drop an order of magnitude between adjacent
+/// knots), and a single run-wide factor would let one cliff segment
+/// poison the whole run with absurdly conservative coefficients,
+/// distorting the sampled distribution far from the true margins.
+#[derive(Debug, Clone)]
+pub struct InterpSegmentRun {
+    /// First and last knot period in seconds (exact, not re-derived
+    /// from `exp(x)` — the round trip can be off by an ulp, which would
+    /// make the run's own endpoints fall outside it).
+    p_lo: f64,
+    /// See `p_lo`.
+    p_hi: f64,
+    /// Knot abscissae: `ln(period)` in increasing order (>= 2 knots).
+    x: Vec<f64>,
+    /// Knot jitter weights `a`.
+    a: Vec<f64>,
+    /// Knot delay budgets `b` (seconds).
+    b: Vec<f64>,
+    /// PCHIP tangents of `a` at the knots.
+    ta: Vec<f64>,
+    /// PCHIP tangents of `b` at the knots.
+    tb: Vec<f64>,
+    /// Per-segment multiplicative shrink applied to interpolated `b`
+    /// (<= 1; `len == x.len() - 1`).
+    shrink_b: Vec<f64>,
+    /// Per-segment multiplicative inflation applied to interpolated `a`
+    /// (>= 1; `len == x.len() - 1`).
+    inflate_a: Vec<f64>,
+}
+
+impl InterpSegmentRun {
+    /// Period range covered by this run, in seconds.
+    pub fn period_range(&self) -> (f64, f64) {
+        (self.p_lo, self.p_hi)
+    }
+
+    /// Segment index `k` with `x` in `[x_k, x_{k+1}]`: count interior
+    /// knots at or below `x` (endpoints clamp into the run).
+    fn segment_of(&self, x: f64) -> usize {
+        self.x[1..self.x.len() - 1].partition_point(|&xk| xk <= x)
+    }
+
+    /// Raw (pre-safety-factor) Hermite evaluation at `ln h = x`.
+    fn eval_raw(&self, k: usize, x: f64) -> (f64, f64) {
+        let (x0, x1) = (self.x[k], self.x[k + 1]);
+        let w = x1 - x0;
+        let t = ((x - x0) / w).clamp(0.0, 1.0);
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        let a =
+            h00 * self.a[k] + h10 * w * self.ta[k] + h01 * self.a[k + 1] + h11 * w * self.ta[k + 1];
+        let b =
+            h00 * self.b[k] + h10 * w * self.tb[k] + h01 * self.b[k + 1] + h11 * w * self.tb[k + 1];
+        (a, b)
+    }
+
+    /// Conservative evaluation at period `h` (must lie inside the run).
+    fn eval(&self, h: f64) -> MarginEntry {
+        let x = h.ln();
+        let k = self.segment_of(x);
+        let (a, b) = self.eval_raw(k, x);
+        MarginEntry {
+            period: h,
+            a: (a * self.inflate_a[k]).max(1.0),
+            b: (b * self.shrink_b[k]).max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+/// Continuous-period margin interpolant of one benchmark plant: monotone
+/// PCHIP interpolation of the dense-grid `(a, b)` coefficients in
+/// log-period, validated for conservatism against freshly computed
+/// [`StabilityFit`]s on held-out midpoint periods.
+///
+/// Unstabilizable stretches of the period range (and segments whose
+/// held-out midpoint fails to stabilize) are holes: [`MarginInterp::eval`]
+/// returns `None` there, and [`MarginInterp::sample_period`] never lands
+/// in them.
+#[derive(Debug, Clone)]
+pub struct MarginInterp {
+    /// Plant name (matches `csa_control::plants::benchmark_pool`).
+    pub name: &'static str,
+    /// Contiguous interpolation runs, ordered by increasing period.
+    runs: Vec<InterpSegmentRun>,
+}
+
+impl MarginInterp {
+    /// The contiguous interpolation runs (for tests and diagnostics).
+    pub fn runs(&self) -> &[InterpSegmentRun] {
+        &self.runs
+    }
+
+    /// `true` when the plant has at least one interpolable span.
+    pub fn is_usable(&self) -> bool {
+        !self.runs.is_empty()
+    }
+
+    /// Smallest and largest supported period, or `None` when unusable.
+    pub fn period_range(&self) -> Option<(f64, f64)> {
+        let first = self.runs.first()?;
+        let last = self.runs.last()?;
+        Some((first.period_range().0, last.period_range().1))
+    }
+
+    /// Conservative `(a, b)` coefficients at an arbitrary period, or
+    /// `None` when `h` falls outside every stabilizable run.
+    pub fn eval(&self, h: f64) -> Option<MarginEntry> {
+        self.runs
+            .iter()
+            .find(|r| {
+                let (lo, hi) = r.period_range();
+                h >= lo && h <= hi
+            })
+            .map(|r| r.eval(h))
+    }
+
+    /// Draws a period log-uniformly over the union of stabilizable runs
+    /// (runs weighted by their log-width, so the density matches a
+    /// log-uniform draw over the union).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plant has no usable run (callers filter with
+    /// [`MarginInterp::is_usable`]).
+    pub fn sample_period<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        assert!(self.is_usable(), "{}: no interpolable span", self.name);
+        let widths: Vec<f64> = self
+            .runs
+            .iter()
+            .map(|r| {
+                let (lo, hi) = r.period_range();
+                (hi / lo).ln()
+            })
+            .collect();
+        let total: f64 = widths.iter().sum();
+        let mut pick = rng.gen::<f64>() * total;
+        let mut idx = 0;
+        for (i, w) in widths.iter().enumerate() {
+            if pick < *w || i == widths.len() - 1 {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        let (lo, hi) = self.runs[idx].period_range();
+        // Clamp both the interpolation parameter and the result: the
+        // sequential width subtraction above (and `powf` itself) can
+        // land an ulp outside the run, which `eval` would reject.
+        let t = (pick / widths[idx]).clamp(0.0, 1.0);
+        (lo * (hi / lo).powf(t)).clamp(lo, hi)
+    }
+}
+
+/// PCHIP (Fritsch–Carlson) tangents for knots `(x, y)`: shape-preserving,
+/// never overshooting the local data interval.
+fn pchip_tangents(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    debug_assert!(n >= 2);
+    let h: Vec<f64> = (0..n - 1).map(|k| x[k + 1] - x[k]).collect();
+    let d: Vec<f64> = (0..n - 1).map(|k| (y[k + 1] - y[k]) / h[k]).collect();
+    if n == 2 {
+        return vec![d[0], d[0]];
+    }
+    let mut m = vec![0.0; n];
+    for k in 1..n - 1 {
+        if d[k - 1] * d[k] <= 0.0 {
+            m[k] = 0.0;
+        } else {
+            let w1 = 2.0 * h[k] + h[k - 1];
+            let w2 = h[k] + 2.0 * h[k - 1];
+            m[k] = (w1 + w2) / (w1 / d[k - 1] + w2 / d[k]);
+        }
+    }
+    m[0] = pchip_endpoint(h[0], h[1], d[0], d[1]);
+    m[n - 1] = pchip_endpoint(h[n - 2], h[n - 3], d[n - 2], d[n - 3]);
+    m
+}
+
+/// One-sided shape-preserving endpoint tangent (as in SciPy's `pchip`).
+fn pchip_endpoint(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let mut m = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if m * d0 <= 0.0 {
+        m = 0.0;
+    } else if d0 * d1 < 0.0 && m.abs() > 3.0 * d0.abs() {
+        m = 3.0 * d0;
+    }
+    m
+}
+
+/// The continuous-period margin interpolants of the benchmark pool,
+/// computed on first use and cached for the process lifetime (see
+/// [`warm_interpolated_tables`] for the parallel warm-up).
+///
+/// # Examples
+///
+/// ```
+/// let interp = csa_experiments::interpolated_tables();
+/// let usable = interp.iter().filter(|t| t.is_usable()).count();
+/// assert!(usable >= 3, "most pool plants must support interpolation");
+/// ```
+pub fn interpolated_tables() -> &'static [MarginInterp] {
+    warm_interpolated_tables(1)
+}
+
+/// [`interpolated_tables`], warming the cache (if cold) with the dense
+/// grid and held-out validation cells sharded across `threads` workers
+/// (0 = available parallelism). Bit-identical at any thread count.
+pub fn warm_interpolated_tables(threads: usize) -> &'static [MarginInterp] {
+    INTERP.get_or_init(|| compute_interp_tables(threads))
+}
+
+fn compute_interp_tables(threads: usize) -> Vec<MarginInterp> {
+    let pool = plants::benchmark_pool().expect("benchmark pool must construct");
+    // Pass 1: dense raw grid (no snapping — the whole point is to cover
+    // periods between the engineering-series members).
+    let mut cells: Vec<(usize, f64)> = Vec::new();
+    for (p, bp) in pool.iter().enumerate() {
+        let (lo, hi) = bp.period_range;
+        for k in 0..DENSE_GRID_POINTS {
+            let t = k as f64 / (DENSE_GRID_POINTS - 1) as f64;
+            cells.push((p, lo * (hi / lo).powf(t)));
+        }
+    }
+    let knots = parallel_map(cells.len(), threads, |c| {
+        let (p, h) = cells[c];
+        compute_cell(&pool[p], h)
+    });
+    let mut per_plant: Vec<Vec<MarginEntry>> = vec![Vec::new(); pool.len()];
+    let mut runs_raw: Vec<Vec<Vec<MarginEntry>>> = vec![Vec::new(); pool.len()];
+    for (&(p, _), entry) in cells.iter().zip(&knots) {
+        per_plant[p].push(match entry {
+            Some(e) => *e,
+            None => MarginEntry {
+                period: f64::NAN,
+                a: f64::NAN,
+                b: f64::NAN,
+            },
+        });
+    }
+    // Split each plant's dense grid into contiguous stabilizable runs.
+    for (p, entries) in per_plant.iter().enumerate() {
+        let mut current: Vec<MarginEntry> = Vec::new();
+        for e in entries {
+            if e.period.is_nan() {
+                if current.len() >= 2 {
+                    runs_raw[p].push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            } else {
+                current.push(*e);
+            }
+        }
+        if current.len() >= 2 {
+            runs_raw[p].push(current);
+        }
+    }
+    // Pass 2: held-out validation cells — the geometric midpoint of every
+    // knot segment. A midpoint that fails to stabilize splits its run; a
+    // stabilizing midpoint contributes to the run's conservatism factors.
+    let mut mid_cells: Vec<(usize, usize, usize, f64)> = Vec::new(); // (plant, run, seg, h)
+    for (p, runs) in runs_raw.iter().enumerate() {
+        for (r, run) in runs.iter().enumerate() {
+            for s in 0..run.len() - 1 {
+                mid_cells.push((p, r, s, (run[s].period * run[s + 1].period).sqrt()));
+            }
+        }
+    }
+    let mid_fits = parallel_map(mid_cells.len(), threads, |c| {
+        let (p, _, _, h) = mid_cells[c];
+        compute_cell(&pool[p], h)
+    });
+    let mut tables: Vec<MarginInterp> = pool
+        .iter()
+        .map(|bp| MarginInterp {
+            name: bp.name,
+            runs: Vec::new(),
+        })
+        .collect();
+    for (p, runs) in runs_raw.iter().enumerate() {
+        for (r, run) in runs.iter().enumerate() {
+            // The fresh midpoint fit of each knot segment, or `None`
+            // where the midpoint fails to stabilize (splits the run).
+            let seg_fit: Vec<Option<MarginEntry>> = (0..run.len() - 1)
+                .map(|s| {
+                    mid_cells
+                        .iter()
+                        .zip(&mid_fits)
+                        .find(|(&(cp, cr, cs, _), _)| cp == p && cr == r && cs == s)
+                        .and_then(|(_, fit)| *fit)
+                })
+                .collect();
+            let mut start = 0;
+            for s in 0..=seg_fit.len() {
+                let broken = s == seg_fit.len() || seg_fit[s].is_none();
+                if broken {
+                    // Knots start..=s form a contiguous validated span.
+                    if s > start {
+                        let span = &run[start..=s];
+                        let fits: Vec<MarginEntry> =
+                            seg_fit[start..s].iter().map(|f| f.unwrap()).collect();
+                        tables[p].runs.push(build_run(span, &fits));
+                    }
+                    start = s + 1;
+                }
+            }
+        }
+    }
+    tables
+}
+
+/// Builds one interpolation run from its knots plus the held-out midpoint
+/// fits (`seg_fits[k]` is the fresh fit at the geometric midpoint of
+/// segment `k`), deriving each segment's conservatism factors: shrink
+/// `b` and inflate `a` until the interpolant is at least
+/// [`INTERP_SAFETY`] inside the segment's freshly computed fit.
+fn build_run(span: &[MarginEntry], seg_fits: &[MarginEntry]) -> InterpSegmentRun {
+    debug_assert_eq!(span.len(), seg_fits.len() + 1);
+    let x: Vec<f64> = span.iter().map(|e| e.period.ln()).collect();
+    let a: Vec<f64> = span.iter().map(|e| e.a).collect();
+    let b: Vec<f64> = span.iter().map(|e| e.b).collect();
+    let ta = pchip_tangents(&x, &a);
+    let tb = pchip_tangents(&x, &b);
+    let mut run = InterpSegmentRun {
+        p_lo: span[0].period,
+        p_hi: span[span.len() - 1].period,
+        x,
+        a,
+        b,
+        ta,
+        tb,
+        shrink_b: vec![1.0; seg_fits.len()],
+        inflate_a: vec![1.0; seg_fits.len()],
+    };
+    for (k, fresh) in seg_fits.iter().enumerate() {
+        let (raw_a, raw_b) = run.eval_raw(k, fresh.period.ln());
+        let mut shrink = 1.0f64;
+        let mut inflate = 1.0f64;
+        if raw_b > 0.0 {
+            shrink = (fresh.b / raw_b).min(1.0);
+        }
+        if raw_a > 0.0 {
+            inflate = (fresh.a / raw_a).max(1.0);
+        }
+        run.shrink_b[k] = shrink * (1.0 - INTERP_SAFETY);
+        run.inflate_a[k] = inflate * (1.0 + INTERP_SAFETY);
+    }
+    run
+}
+
+/// Freshly computes the exact `(a, b)` fit of the named pool plant at
+/// period `h` — the ground truth the interpolant must stay conservative
+/// against (used by the validation property tests; this is the expensive
+/// path the interpolant exists to avoid).
+pub fn fresh_margin_fit(plant: &str, h: f64) -> Option<MarginEntry> {
+    let pool = plants::benchmark_pool().expect("benchmark pool must construct");
+    pool.iter()
+        .find(|bp| bp.name == plant)
+        .and_then(|bp| compute_cell(bp, h))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn grid_periods_come_from_series() {
@@ -234,5 +643,112 @@ mod tests {
         let a = margin_tables().as_ptr();
         let b = margin_tables().as_ptr();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snap_survives_nan_and_extremes() {
+        // Regression for the former `partial_cmp(..).unwrap()` sort: a
+        // NaN period must select *some* series member deterministically,
+        // never panic. (The same NaN-unsafe pattern PR 2 removed from
+        // the MaxSlackFirst candidate sort.)
+        for h in [f64::NAN, f64::INFINITY, 0.0, -1.0, 1e300, 1e-300] {
+            let s = snap_to_series(h);
+            assert!(PERIOD_SERIES.contains(&s), "snap({h}) = {s} not in series");
+        }
+        // Sane values snap to the nearest member in log distance.
+        assert_eq!(snap_to_series(0.0045), 0.005);
+        assert_eq!(snap_to_series(0.0009), 0.001);
+        assert_eq!(snap_to_series(0.3), 0.2);
+    }
+
+    #[test]
+    fn interp_covers_pool_with_ordered_runs() {
+        let tables = interpolated_tables();
+        assert_eq!(tables.len(), plants::benchmark_pool().unwrap().len());
+        let usable = tables.iter().filter(|t| t.is_usable()).count();
+        assert!(usable >= 3, "only {usable} plants interpolable");
+        for t in tables {
+            let mut prev_hi = 0.0;
+            for r in t.runs() {
+                let (lo, hi) = r.period_range();
+                assert!(lo < hi, "{}: degenerate run", t.name);
+                assert!(lo > prev_hi, "{}: runs out of order", t.name);
+                prev_hi = hi;
+            }
+        }
+    }
+
+    #[test]
+    fn interp_eval_is_sane_inside_and_none_outside() {
+        for t in interpolated_tables() {
+            let Some((lo, hi)) = t.period_range() else {
+                continue;
+            };
+            assert!(t.eval(lo * 0.5).is_none());
+            assert!(t.eval(hi * 2.0).is_none());
+            let mid = (lo * hi).sqrt();
+            if let Some(e) = t.eval(mid) {
+                assert!(e.a >= 1.0, "{}: a = {}", t.name, e.a);
+                assert!(e.b > 0.0 && e.b.is_finite(), "{}: b = {}", t.name, e.b);
+            }
+        }
+    }
+
+    #[test]
+    fn interp_matches_knot_neighborhood() {
+        // At a knot period the conservative interpolant must stay within
+        // the safety factor of the knot's own fitted coefficients.
+        for t in interpolated_tables() {
+            for r in t.runs() {
+                for (k, &xk) in r.x.iter().enumerate() {
+                    let e = r.eval(xk.exp());
+                    assert!(
+                        e.b <= r.b[k] * 1.0000001,
+                        "{}: interpolated b {} above knot b {}",
+                        t.name,
+                        e.b,
+                        r.b[k]
+                    );
+                    assert!(
+                        e.a >= r.a[k] * 0.9999999 - 1e-12 || e.a >= 1.0,
+                        "{}: interpolated a {} below knot a {}",
+                        t.name,
+                        e.a,
+                        r.a[k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_periods_stay_supported() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for t in interpolated_tables() {
+            if !t.is_usable() {
+                continue;
+            }
+            for _ in 0..50 {
+                let h = t.sample_period(&mut rng);
+                assert!(
+                    t.eval(h).is_some(),
+                    "{}: sampled period {h} unsupported",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pchip_is_shape_preserving_on_monotone_data() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 4.0, 8.0];
+        let m = pchip_tangents(&x, &y);
+        assert!(m.iter().all(|&t| t >= 0.0), "tangents {m:?}");
+        // At a local extremum the interior tangent vanishes.
+        let y2 = [1.0, 3.0, 2.0, 4.0];
+        let m2 = pchip_tangents(&x, &y2);
+        assert_eq!(m2[1], 0.0);
+        assert_eq!(m2[2], 0.0);
     }
 }

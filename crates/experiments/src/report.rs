@@ -46,6 +46,78 @@ pub fn threads_flag() -> usize {
     parse_threads(std::env::args())
 }
 
+/// Parses the generator-profile flag used by the benchmark-driven
+/// binaries: `--profile NAME` (or `--profile=NAME`) selects the
+/// [`PeriodModel`](crate::PeriodModel) benchmarks are drawn from;
+/// absent, the legacy `grid-snapped` model is used. An unknown name
+/// aborts with the list of valid profiles.
+pub fn profile_flag() -> crate::PeriodModel {
+    match parse_profile(std::env::args()) {
+        Ok(model) => model,
+        Err(bad) => {
+            let names: Vec<&str> = crate::PeriodModel::ALL.iter().map(|m| m.name()).collect();
+            eprintln!(
+                "unknown profile {bad:?}; valid profiles: {}",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_profile(args: impl Iterator<Item = String>) -> Result<crate::PeriodModel, String> {
+    let args: Vec<String> = args.collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--profile" {
+            // A missing value is an error, not a silent default.
+            Some(args.get(i + 1).map(String::as_str).unwrap_or(""))
+        } else {
+            a.strip_prefix("--profile=")
+        };
+        if let Some(v) = value {
+            return crate::PeriodModel::parse(v).ok_or_else(|| v.to_string());
+        }
+    }
+    Ok(crate::PeriodModel::default())
+}
+
+/// Parses the optional task-count override used by the benchmark-driven
+/// binaries: `--n LIST` (or `--n=LIST`) with a comma-separated list of
+/// task counts (e.g. `--n 4` or `--n 4,8,12`) replaces the
+/// configuration's default sweep. Absent, returns `None`. Useful to
+/// bound paper-scale sweeps on the continuous-family profiles, whose
+/// backtracking tail grows steeply with `n` (see EXPERIMENTS.md).
+pub fn task_counts_flag() -> Option<Vec<usize>> {
+    match parse_task_counts(std::env::args()) {
+        Ok(counts) => counts,
+        Err(bad) => {
+            eprintln!("bad --n value {bad:?}; expected a comma-separated list like 4,8,12");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_task_counts(args: impl Iterator<Item = String>) -> Result<Option<Vec<usize>>, String> {
+    let args: Vec<String> = args.collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--n" {
+            Some(args.get(i + 1).map(String::as_str).unwrap_or(""))
+        } else {
+            a.strip_prefix("--n=")
+        };
+        if let Some(v) = value {
+            let counts: Result<Vec<usize>, _> =
+                v.split(',').map(|p| p.trim().parse::<usize>()).collect();
+            return match counts {
+                Ok(c) if !c.is_empty() && c.iter().all(|&n| n > 0) => Ok(Some(c)),
+                _ => Err(v.to_string()),
+            };
+        }
+    }
+    Ok(None)
+}
+
 fn parse_threads(args: impl Iterator<Item = String>) -> usize {
     let args: Vec<String> = args.collect();
     for (i, a) in args.iter().enumerate() {
@@ -67,6 +139,43 @@ fn parse_threads(args: impl Iterator<Item = String>) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn task_counts_flag_parsing() {
+        let parse = |args: &[&str]| parse_task_counts(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["bin"]), Ok(None));
+        assert_eq!(parse(&["bin", "--n", "4"]), Ok(Some(vec![4])));
+        assert_eq!(parse(&["bin", "--n=4,8,12"]), Ok(Some(vec![4, 8, 12])));
+        assert_eq!(parse(&["bin", "--n", "4, 8"]), Ok(Some(vec![4, 8])));
+        assert!(parse(&["bin", "--n", "soup"]).is_err());
+        assert!(parse(&["bin", "--n", "0"]).is_err());
+        assert!(parse(&["bin", "--n"]).is_err());
+    }
+
+    #[test]
+    fn profile_flag_parsing() {
+        use crate::PeriodModel;
+        let parse = |args: &[&str]| parse_profile(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["bin"]), Ok(PeriodModel::GridSnapped));
+        assert_eq!(
+            parse(&["bin", "--profile", "continuous"]),
+            Ok(PeriodModel::Continuous)
+        );
+        assert_eq!(
+            parse(&["bin", "--profile=margin-tight", "--quick"]),
+            Ok(PeriodModel::MarginTight)
+        );
+        assert_eq!(
+            parse(&["bin", "--quick", "--profile", "harmonic-stress"]),
+            Ok(PeriodModel::HarmonicStress)
+        );
+        assert_eq!(
+            parse(&["bin", "--profile", "soup"]),
+            Err("soup".to_string())
+        );
+        // Missing value reads as an empty profile name, not a default.
+        assert!(parse(&["bin", "--profile"]).is_err());
+    }
 
     #[test]
     fn threads_flag_parsing() {

@@ -6,13 +6,14 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use csa_experiments::{empirical_order, run_fig5, Fig5Config};
+use csa_experiments::{empirical_order, run_fig5, Fig5Config, PeriodModel};
 
 fn main() {
     let config = Fig5Config {
         task_counts: (2..=10).map(|k| 2 * k).collect(),
         benchmarks: 300,
         seed: 5,
+        profile: PeriodModel::GridSnapped,
     };
     println!("# {} benchmarks per task count", config.benchmarks);
     let points = run_fig5(&config);

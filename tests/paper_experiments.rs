@@ -4,7 +4,7 @@
 
 use csa_experiments::{
     run_census, run_fig2, run_fig4, run_fig5, run_table1, CensusConfig, Fig2Config, Fig4Config,
-    Fig5Config, Table1Config,
+    Fig5Config, PeriodModel, Table1Config,
 };
 
 #[test]
@@ -13,6 +13,7 @@ fn table1_invalid_solutions_are_rare() {
         task_counts: vec![4, 8],
         benchmarks: 400,
         seed: 2017,
+        profile: PeriodModel::GridSnapped,
     });
     for r in &rows {
         // The paper's headline: anomalies are extremely rare, so the
@@ -64,6 +65,7 @@ fn fig5_runtimes_grow_polynomially_and_stay_close() {
         task_counts: vec![4, 8, 12, 16],
         benchmarks: 60,
         seed: 5,
+        profile: PeriodModel::GridSnapped,
     });
     // Check-count growth is far from exponential.
     for p in &pts {
@@ -85,6 +87,7 @@ fn census_confirms_rarity_and_decreasing_anomaly_trend() {
         task_counts: vec![4, 8],
         benchmarks: 400,
         seed: 77,
+        profile: PeriodModel::GridSnapped,
     });
     for r in &rows {
         // Anomaly rates are tiny fractions of solvable benchmarks.
