@@ -1,4 +1,4 @@
-//! Ablation benchmarks for the design choices DESIGN.md §8 calls out:
+//! Ablation benchmarks for the design choices DESIGN.md §9 calls out:
 //! backtracking candidate order, sensitivity search strategy, and the
 //! DARE solver.
 

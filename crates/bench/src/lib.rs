@@ -1,7 +1,24 @@
 //! Shared fixtures for the Criterion benchmark harness.
 //!
 //! One bench target per paper table/figure plus substrate micro-benches
-//! and design-choice ablations; see `benches/` and DESIGN.md §6.
+//! and design-choice ablations; see `benches/` and DESIGN.md §6 for the
+//! target-by-target layout.
+//!
+//! # Example
+//!
+//! Deterministic fixture generation as the bench targets use it
+//! (`no_run`: building the fixture warms the plant margin tables,
+//! which is the expensive control-theoretic step):
+//!
+//! ```no_run
+//! use csa_bench::fixed_benchmarks_with;
+//! use csa_experiments::PeriodModel;
+//!
+//! // 10 deterministic continuous-profile task sets at n = 16 — the
+//! // exponential-tail fixtures of the `portfolio` bench target.
+//! let sets = fixed_benchmarks_with(16, 10, 0xB06E7, PeriodModel::Continuous);
+//! assert_eq!(sets.len(), 10);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,7 +1,9 @@
 //! Control-theoretic substrate of the DATE 2017 anomalies reproduction.
 //!
 //! Everything the paper needs from control theory, hand-written on top of
-//! `csa-linalg` (the reproduction bands forbid control toolboxes):
+//! `csa-linalg` (the reproduction bands forbid control toolboxes); the
+//! plant pool, jitter-margin criterion, and LQG modelling commitments
+//! are documented in DESIGN.md §3:
 //!
 //! * LTI models: [`StateSpace`], [`TransferFunction`], [`DiscreteSs`];
 //! * sampling: [`c2d_zoh`] and [`c2d_zoh_delayed`] (arbitrary input delay

@@ -48,9 +48,17 @@ pub struct AssignmentStats {
     /// Number of backtracks (Algorithm 1 only; 0 for the others).
     pub backtracks: u64,
     /// Logical checks answered from the memo table instead of rerunning
-    /// the response-time fixed points (0 for the [`reference`]
+    /// the response-time fixed points (0 for the [`mod@reference`]
     /// implementations and for sets too large to memoize).
     pub cache_hits: u64,
+    /// Whether the search was cut short by a check budget before it
+    /// could decide. A truncated run returning no assignment means
+    /// "unknown", not "infeasible". Always `false` for the unbudgeted
+    /// entry points ([`backtracking`], [`unsafe_quadratic`],
+    /// [`audsley_opa`], [`exhaustive`]); mirrors the `bool` returned by
+    /// [`backtracking_with_budget`] so sweeps that only keep the stats
+    /// can still report truncated-instance counts.
+    pub truncated: bool,
 }
 
 /// Outcome of an assignment algorithm.
@@ -90,6 +98,22 @@ fn order_by_slack_desc(scored: &mut [(f64, usize)]) {
 #[inline]
 fn slack_admits(slack: f64) -> bool {
     slack >= 0.0
+}
+
+/// The Unsafe Quadratic criticality order: task indices bottom-up,
+/// largest worst-case slack lowest (NaN-safe by `total_cmp`, ties
+/// broken by index). Shared by [`unsafe_quadratic`], its reference
+/// twin, and the portfolio's verified Seed B so the three can never
+/// drift apart.
+pub(crate) fn criticality_order(verdicts: &[crate::analysis::TaskVerdict]) -> Vec<usize> {
+    let mut bottom_up: Vec<usize> = (0..verdicts.len()).collect();
+    bottom_up.sort_by(|&x, &y| {
+        verdicts[y]
+            .slack
+            .total_cmp(&verdicts[x].slack)
+            .then(x.cmp(&y))
+    });
+    bottom_up
 }
 
 /// The paper's **Algorithm 1**: backtracking priority assignment.
@@ -159,16 +183,30 @@ pub fn backtracking_with_budget(
     order: CandidateOrder,
     max_checks: u64,
 ) -> (AssignmentOutcome, bool) {
-    let n = tasks.len();
-    if n > MEMO_MAX_TASKS {
+    if tasks.len() > MEMO_MAX_TASKS {
         // The remaining-set bitmask no longer fits: run the uncached
         // reference search (identical semantics, per-check allocation).
         return reference::backtracking_with_budget(tasks, order, max_checks);
     }
     let mut checker = StabilityChecker::new(tasks);
+    backtracking_on_checker(&mut checker, order, max_checks)
+}
+
+/// Budgeted backtracking over an existing checker (whose memo may
+/// already be warm from earlier searches on the same task slice — the
+/// portfolio stages rely on this). Stats count only this run's checks;
+/// `cache_hits` is the delta accrued here, so sharing a checker changes
+/// nothing observable but wall-clock time and hit counts.
+pub(crate) fn backtracking_on_checker(
+    checker: &mut StabilityChecker<'_>,
+    order: CandidateOrder,
+    max_checks: u64,
+) -> (AssignmentOutcome, bool) {
+    let n = checker.len();
     let full = checker.full_mask();
+    let hits_before = checker.cache_hits();
     let mut search = BacktrackSearch {
-        checker: &mut checker,
+        checker,
         order,
         remaining: (0..n).collect(),
         bottom_up: Vec::with_capacity(n),
@@ -178,12 +216,14 @@ pub fn backtracking_with_budget(
     };
     let found = search.recurse(full);
     let BacktrackSearch {
+        checker,
         bottom_up,
         mut stats,
         truncated,
         ..
     } = search;
-    stats.cache_hits = checker.cache_hits();
+    stats.cache_hits = checker.cache_hits() - hits_before;
+    stats.truncated = truncated;
     (
         AssignmentOutcome {
             assignment: found.then(|| PriorityAssignment::from_lowest_first(&bottom_up)),
@@ -342,13 +382,7 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
         })
         .collect();
     // Step 2: sort by slack, largest slack to the bottom.
-    let mut bottom_up: Vec<usize> = (0..n).collect();
-    bottom_up.sort_by(|&x, &y| {
-        verdicts[y]
-            .slack
-            .total_cmp(&verdicts[x].slack)
-            .then(x.cmp(&y))
-    });
+    let bottom_up = criticality_order(&verdicts);
     // Step 3: the bottom task's worst-case check is exact (its final
     // higher-priority set is all other tasks). If even the best
     // candidate fails there, no assignment has a stable bottom task.
@@ -396,18 +430,60 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
 /// higher-priority set) but incomplete under anomalies: a dead end makes
 /// it give up where [`backtracking`] would recover.
 pub fn audsley_opa(tasks: &[ControlTask]) -> AssignmentOutcome {
-    let n = tasks.len();
-    if n > MEMO_MAX_TASKS {
-        return reference::audsley_opa(tasks);
+    let (outcome, truncated) = audsley_opa_with_budget(tasks, u64::MAX);
+    debug_assert!(!truncated, "unbounded OPA cannot be truncated");
+    outcome
+}
+
+/// [`audsley_opa`] with a stability-check budget — the same contract as
+/// [`backtracking_with_budget`]: the budget counts *logical* checks
+/// (memo-invariant), and a truncated `None` means "unknown", not
+/// "OPA found no level to fill". An un-truncated `None` keeps OPA's
+/// usual meaning: it gave up at an unfillable level (which, OPA being
+/// incomplete, still proves nothing about infeasibility).
+pub fn audsley_opa_with_budget(
+    tasks: &[ControlTask],
+    max_checks: u64,
+) -> (AssignmentOutcome, bool) {
+    if tasks.len() > MEMO_MAX_TASKS {
+        return reference::audsley_opa_with_budget(tasks, max_checks);
     }
     let mut checker = StabilityChecker::new(tasks);
+    opa_on_checker(&mut checker, max_checks)
+}
+
+/// Budgeted strict OPA over an existing checker (see
+/// [`backtracking_on_checker`] for the sharing contract). A truncated
+/// run gave up mid-level for lack of budget, not because a level was
+/// unfillable — its `None` means "unknown", exactly like a truncated
+/// backtracking run's.
+pub(crate) fn opa_on_checker(
+    checker: &mut StabilityChecker<'_>,
+    max_checks: u64,
+) -> (AssignmentOutcome, bool) {
+    let n = checker.len();
+    let hits_before = checker.cache_hits();
     let mut stats = AssignmentStats::default();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut remaining_mask = checker.full_mask();
     let mut bottom_up: Vec<usize> = Vec::with_capacity(n);
+    let give_up = |checker: &StabilityChecker<'_>, mut stats: AssignmentStats, truncated| {
+        stats.cache_hits = checker.cache_hits() - hits_before;
+        stats.truncated = truncated;
+        (
+            AssignmentOutcome {
+                assignment: None,
+                stats,
+            },
+            truncated,
+        )
+    };
     while !remaining.is_empty() {
         let mut committed = None;
         for &cand in &remaining {
+            if stats.checks >= max_checks {
+                return give_up(checker, stats, true);
+            }
             stats.checks += 1;
             if checker
                 .check_mask(cand, remaining_mask & !(1u64 << cand))
@@ -423,20 +499,17 @@ pub fn audsley_opa(tasks: &[ControlTask]) -> AssignmentOutcome {
                 remaining_mask &= !(1u64 << cand);
                 bottom_up.push(cand);
             }
-            None => {
-                stats.cache_hits = checker.cache_hits();
-                return AssignmentOutcome {
-                    assignment: None,
-                    stats,
-                };
-            }
+            None => return give_up(checker, stats, false),
         }
     }
-    stats.cache_hits = checker.cache_hits();
-    AssignmentOutcome {
-        assignment: Some(PriorityAssignment::from_lowest_first(&bottom_up)),
-        stats,
-    }
+    stats.cache_hits = checker.cache_hits() - hits_before;
+    (
+        AssignmentOutcome {
+            assignment: Some(PriorityAssignment::from_lowest_first(&bottom_up)),
+            stats,
+        },
+        false,
+    )
 }
 
 /// Maximum task count accepted by [`exhaustive`] (10! = 3.6M
@@ -591,6 +664,7 @@ pub mod reference {
             max_checks,
             &mut truncated,
         );
+        stats.truncated = truncated;
         (
             AssignmentOutcome {
                 assignment: found.then(|| PriorityAssignment::from_lowest_first(&bottom_up)),
@@ -691,13 +765,7 @@ pub mod reference {
             })
             .collect();
         // Step 2: sort by slack, largest slack to the bottom.
-        let mut bottom_up: Vec<usize> = (0..n).collect();
-        bottom_up.sort_by(|&x, &y| {
-            verdicts[y]
-                .slack
-                .total_cmp(&verdicts[x].slack)
-                .then(x.cmp(&y))
-        });
+        let bottom_up = super::criticality_order(&verdicts);
         // Step 3: the bottom task's worst-case check is exact.
         if !verdicts[bottom_up[0]].stable {
             return AssignmentOutcome {
@@ -725,6 +793,16 @@ pub mod reference {
 
     /// Reference [`crate::audsley_opa`].
     pub fn audsley_opa(tasks: &[ControlTask]) -> AssignmentOutcome {
+        let (outcome, truncated) = audsley_opa_with_budget(tasks, u64::MAX);
+        debug_assert!(!truncated, "unbounded OPA cannot be truncated");
+        outcome
+    }
+
+    /// Reference [`crate::audsley_opa_with_budget`].
+    pub fn audsley_opa_with_budget(
+        tasks: &[ControlTask],
+        max_checks: u64,
+    ) -> (AssignmentOutcome, bool) {
         let n = tasks.len();
         let mut stats = AssignmentStats::default();
         let mut remaining: Vec<usize> = (0..n).collect();
@@ -732,6 +810,16 @@ pub mod reference {
         while !remaining.is_empty() {
             let mut committed = None;
             for &cand in &remaining {
+                if stats.checks >= max_checks {
+                    stats.truncated = true;
+                    return (
+                        AssignmentOutcome {
+                            assignment: None,
+                            stats,
+                        },
+                        true,
+                    );
+                }
                 let hp: Vec<usize> = remaining.iter().copied().filter(|&x| x != cand).collect();
                 stats.checks += 1;
                 if check_task(tasks, cand, &hp).stable {
@@ -745,17 +833,23 @@ pub mod reference {
                     bottom_up.push(cand);
                 }
                 None => {
-                    return AssignmentOutcome {
-                        assignment: None,
-                        stats,
-                    }
+                    return (
+                        AssignmentOutcome {
+                            assignment: None,
+                            stats,
+                        },
+                        false,
+                    )
                 }
             }
         }
-        AssignmentOutcome {
-            assignment: Some(PriorityAssignment::from_lowest_first(&bottom_up)),
-            stats,
-        }
+        (
+            AssignmentOutcome {
+                assignment: Some(PriorityAssignment::from_lowest_first(&bottom_up)),
+                stats,
+            },
+            false,
+        )
     }
 
     /// Reference [`crate::exhaustive`].
@@ -1083,6 +1177,24 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_opa_truncates_honestly() {
+        let tasks = classic();
+        // One check cannot fill a level of three tasks: unknown.
+        let (out, truncated) = audsley_opa_with_budget(&tasks, 1);
+        assert!(truncated);
+        assert!(out.stats.truncated);
+        assert!(out.assignment.is_none());
+        let (naive, naive_trunc) = reference::audsley_opa_with_budget(&tasks, 1);
+        assert_eq!(truncated, naive_trunc);
+        assert_eq!(out.stats.checks, naive.stats.checks);
+        // A budget above OPA's quadratic ceiling changes nothing.
+        let (full, full_trunc) = audsley_opa_with_budget(&tasks, 1_000);
+        assert!(!full_trunc);
+        assert_eq!(full.assignment, audsley_opa(&tasks).assignment);
+        assert_eq!(full.stats, audsley_opa(&tasks).stats);
+    }
+
+    #[test]
     fn budget_truncation_is_memo_invariant() {
         let tasks = classic();
         for cap in 0..8u64 {
@@ -1093,6 +1205,10 @@ mod tests {
             assert_eq!(fast.assignment, naive.assignment, "cap {cap}");
             assert_eq!(fast.stats.checks, naive.stats.checks, "cap {cap}");
             assert_eq!(fast.stats.backtracks, naive.stats.backtracks, "cap {cap}");
+            // The stats flag mirrors the tuple flag on both paths (it
+            // used to be dropped inside the u64::MAX wrappers).
+            assert_eq!(fast.stats.truncated, fast_trunc, "cap {cap}");
+            assert_eq!(naive.stats.truncated, naive_trunc, "cap {cap}");
         }
     }
 }

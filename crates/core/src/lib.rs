@@ -10,11 +10,16 @@
 //!   ([`analyze`], [`is_valid_assignment`]);
 //! * priority assignment: the paper's backtracking **Algorithm 1**
 //!   ([`backtracking`]), the **Unsafe Quadratic** baseline
-//!   ([`unsafe_quadratic`]), strict Audsley OPA ([`audsley_opa`]) and an
-//!   exhaustive ground truth ([`exhaustive`]);
+//!   ([`unsafe_quadratic`]), strict Audsley OPA ([`audsley_opa`]), an
+//!   exhaustive ground truth ([`exhaustive`]), and the staged anytime
+//!   [`portfolio`] search that bounds design-time latency under a check
+//!   budget (DESIGN.md §8);
 //! * anomaly detectors with certified witnesses ([`anomaly`] module);
 //! * monotonicity-exploiting vs. safe sensitivity analysis
 //!   ([`max_stable_wcet_binary`], [`max_stable_wcet_scan`]).
+//!
+//! The anomaly algebra behind all of this is DESIGN.md §5; the
+//! zero-allocation memoized execution engine is DESIGN.md §7.
 //!
 //! # Example
 //!
@@ -43,6 +48,7 @@ mod analysis;
 pub mod anomaly;
 mod assignment;
 mod fxhash;
+mod portfolio;
 mod sensitivity;
 mod stability;
 
@@ -56,9 +62,13 @@ pub use anomaly::{
 };
 pub use assignment::reference;
 pub use assignment::{
-    audsley_opa, backtracking, backtracking_with_budget, backtracking_with_order,
-    count_valid_assignments, exhaustive, unsafe_quadratic, AssignmentOutcome, AssignmentStats,
-    CandidateOrder, EXHAUSTIVE_MAX_TASKS,
+    audsley_opa, audsley_opa_with_budget, backtracking, backtracking_with_budget,
+    backtracking_with_order, count_valid_assignments, exhaustive, unsafe_quadratic,
+    AssignmentOutcome, AssignmentStats, CandidateOrder, EXHAUSTIVE_MAX_TASKS,
+};
+pub use portfolio::{
+    portfolio, portfolio_with_budget, PortfolioOutcome, PortfolioStage, StageReport,
+    SLACK_PROBE_FACTOR,
 };
 pub use sensitivity::{
     max_stable_wcet_binary, max_stable_wcet_scan, system_slack, verify_sensitivity,

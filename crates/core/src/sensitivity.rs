@@ -10,7 +10,7 @@
 //! alternative scans every candidate.
 //!
 //! This module implements both, plus a checker, so the benchmark harness
-//! can quantify the speed/safety trade-off (ablation in DESIGN.md §8).
+//! can quantify the speed/safety trade-off (ablation in DESIGN.md §9).
 
 use crate::analysis::{analyze, is_valid_assignment, PriorityAssignment};
 use crate::stability::ControlTask;

@@ -13,8 +13,8 @@
 
 use csa_core::{
     audsley_opa, backtracking, backtracking_with_budget, backtracking_with_order,
-    count_valid_assignments, exhaustive, is_valid_assignment, reference, unsafe_quadratic,
-    CandidateOrder, ControlTask,
+    count_valid_assignments, exhaustive, is_valid_assignment, portfolio, portfolio_with_budget,
+    reference, unsafe_quadratic, CandidateOrder, ControlTask, PortfolioStage,
 };
 use proptest::prelude::*;
 
@@ -144,6 +144,71 @@ proptest! {
         prop_assert_eq!(&fast.assignment, &naive.assignment);
         prop_assert_eq!(fast.stats.checks, naive.stats.checks);
         prop_assert_eq!(fast.stats.backtracks, naive.stats.backtracks);
+    }
+
+    #[test]
+    fn portfolio_equals_backtracking_when_budget_not_hit(tasks in task_set(), cap in 0u64..80) {
+        // The portfolio's anytime contract: any returned assignment is
+        // valid, and whenever the run is not truncated its feasibility
+        // verdict is exactly Algorithm 1's (= exhaustive's, since
+        // backtracking is complete). A truncated run must return no
+        // assignment and claim nothing.
+        for budget in [cap, u64::MAX] {
+            let out = portfolio_with_budget(&tasks, budget);
+            if let Some(pa) = &out.assignment {
+                prop_assert!(!out.truncated(), "a found assignment is a decision");
+                prop_assert!(is_valid_assignment(&tasks, pa), "budget {budget}");
+            }
+            if !out.truncated() {
+                prop_assert_eq!(
+                    out.assignment.is_some(),
+                    backtracking(&tasks).assignment.is_some(),
+                    "un-truncated portfolio disagrees with Algorithm 1 at budget {}", budget
+                );
+            }
+        }
+        // Unbounded runs always decide.
+        prop_assert!(!portfolio(&tasks).truncated());
+    }
+
+    #[test]
+    fn portfolio_budget_accounting_is_exact(tasks in task_set(), cap in 1u64..120) {
+        // Stage reports sum to the aggregate, the spend respects the
+        // documented `< cap + n` bound, and runs are deterministic.
+        let n = tasks.len() as u64;
+        let out = portfolio_with_budget(&tasks, cap);
+        let sum_checks: u64 = out.stages.iter().map(|s| s.checks).sum();
+        let sum_hits: u64 = out.stages.iter().map(|s| s.cache_hits).sum();
+        prop_assert_eq!(out.stats.checks, sum_checks);
+        prop_assert_eq!(out.stats.cache_hits, sum_hits);
+        prop_assert!(out.stats.checks < cap + n,
+            "spent {} checks against budget {}", out.stats.checks, cap);
+        prop_assert_eq!(&out, &portfolio_with_budget(&tasks, cap));
+        // A winner exists iff an assignment does, and OPA wins whenever
+        // plain OPA would succeed within budget (stage order is fixed).
+        prop_assert_eq!(out.winner.is_some(), out.assignment.is_some());
+        let opa = audsley_opa(&tasks);
+        if opa.assignment.is_some() && opa.stats.checks <= cap {
+            prop_assert_eq!(out.winner, Some(PortfolioStage::Opa));
+        }
+    }
+
+    #[test]
+    fn truncation_flag_matches_budget_tuple(tasks in task_set(), cap in 0u64..40) {
+        // The satellite fix: `AssignmentStats::truncated` must mirror
+        // the tuple flag on both the memoized and reference paths (it
+        // used to be dropped on the `u64::MAX` wrapper path).
+        let (fast, fast_trunc) = backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+        prop_assert_eq!(fast.stats.truncated, fast_trunc);
+        let (naive, naive_trunc) =
+            reference::backtracking_with_budget(&tasks, CandidateOrder::Input, cap);
+        prop_assert_eq!(naive.stats.truncated, naive_trunc);
+        // Bit-identical apart from cache_hits (reference never caches).
+        prop_assert_eq!(fast.stats.truncated, naive.stats.truncated);
+        prop_assert_eq!(fast.stats.checks, naive.stats.checks);
+        prop_assert_eq!(fast.stats.backtracks, naive.stats.backtracks);
+        let unbudgeted = backtracking(&tasks);
+        prop_assert!(!unbudgeted.stats.truncated);
     }
 
     #[test]

@@ -2,27 +2,30 @@
 //! Pass `--quick` for reduced scales everywhere, `--threads N` to bound
 //! the worker count (default: available parallelism; results are
 //! identical at any setting), `--n LIST` to override the task-count
-//! sweeps, and `--profile NAME` to select the
-//! benchmark period model for the benchmark-driven experiments
-//! (Table I, Fig. 5, census; Figs. 2/4 sweep plants directly and have
-//! no benchmark distribution).
+//! sweeps, `--profile NAME` to select the benchmark period model, and
+//! `--search NAME` / `--budget N` to select and budget the assignment
+//! search, for the benchmark-driven experiments (Table I, Fig. 5,
+//! census; Figs. 2/4 sweep plants directly and have no benchmark
+//! distribution).
 
 use csa_experiments::{
-    format_census, format_table1, profile_flag, quick_flag, run_census_with_threads,
-    run_fig2_with_threads, run_fig4, run_fig5, run_table1_with_threads, task_counts_flag,
-    threads_flag, warm_interpolated_tables, warm_margin_tables, CensusConfig, Fig2Config,
-    Fig4Config, Fig5Config, PeriodModel, Table1Config,
+    budget_flag, format_census, format_table1, profile_flag, quick_flag, run_census_with_threads,
+    run_fig2_with_threads, run_fig4, run_fig5, run_table1_with_threads, search_flag,
+    task_counts_flag, threads_flag, warm_interpolated_tables, warm_margin_tables, CensusConfig,
+    Fig2Config, Fig4Config, Fig5Config, PeriodModel, SearchConfig, Table1Config,
 };
 
 fn main() {
     let quick = quick_flag();
     let threads = threads_flag();
     let profile = profile_flag();
+    let search = SearchConfig::new(search_flag(), budget_flag());
     let task_counts = task_counts_flag();
     eprintln!(
-        "running all experiments ({} scale, profile {}, {} worker threads)",
+        "running all experiments ({} scale, profile {}, search {}, {} worker threads)",
         if quick { "quick" } else { "paper" },
         profile,
+        search.mode,
         threads
     );
     if profile == PeriodModel::GridSnapped {
@@ -70,7 +73,8 @@ fn main() {
     } else {
         Table1Config::paper()
     }
-    .with_profile(profile);
+    .with_profile(profile)
+    .with_search(search);
     if let Some(counts) = &task_counts {
         t1_cfg.task_counts = counts.clone();
     }
@@ -83,7 +87,8 @@ fn main() {
     } else {
         Fig5Config::paper()
     }
-    .with_profile(profile);
+    .with_profile(profile)
+    .with_search(search);
     if let Some(counts) = &task_counts {
         fig5_cfg.task_counts = counts.clone();
     }
@@ -91,9 +96,10 @@ fn main() {
     println!("== Fig. 5: runtime ==");
     for p in &fig5 {
         println!(
-            "  n = {:>2}: backtracking {:.1} us, unsafe quadratic {:.1} us",
+            "  n = {:>2}: {} {:.1} us, unsafe quadratic {:.1} us",
             p.n,
-            p.backtracking_secs * 1e6,
+            search.mode,
+            p.search_secs * 1e6,
             p.unsafe_quadratic_secs * 1e6
         );
     }
@@ -103,7 +109,8 @@ fn main() {
     } else {
         CensusConfig::paper()
     }
-    .with_profile(profile);
+    .with_profile(profile)
+    .with_search(search);
     if let Some(counts) = &task_counts {
         census_cfg.task_counts = counts.clone();
     }

@@ -3,30 +3,35 @@
 //! (results are identical at any thread count), and `--profile NAME`
 //! to select the benchmark period model (`grid-snapped` legacy default,
 //! `continuous`, `harmonic-stress`, `margin-tight`). `--n LIST` (e.g.
-//! `--n 4,8,12`) overrides the task-count sweep. Every anomalous
-//! instance found is serialized as a replayable witness line.
+//! `--n 4,8,12`) overrides the task-count sweep; `--search NAME`
+//! selects the solver behind the solvable column (`backtracking`
+//! default, `portfolio`, `opa`) and `--budget N` caps its logical
+//! checks per instance. Every anomalous instance found is serialized
+//! as a replayable witness line.
 
 use csa_experiments::{
-    format_census, profile_flag, quick_flag, run_census_collecting, task_counts_flag, threads_flag,
-    warm_interpolated_tables, warm_margin_tables, write_csv, write_witness_file, CensusConfig,
-    PeriodModel,
+    budget_flag, csv_file_name, format_census, profile_flag, quick_flag, run_census_collecting,
+    search_flag, task_counts_flag, threads_flag, warm_interpolated_tables, warm_margin_tables,
+    write_csv, write_witness_file, CensusConfig, PeriodModel, SearchConfig,
 };
 
 fn main() -> std::io::Result<()> {
     let profile = profile_flag();
+    let search = SearchConfig::new(search_flag(), budget_flag());
     let mut config = if quick_flag() {
         CensusConfig::quick()
     } else {
         CensusConfig::paper()
     }
-    .with_profile(profile);
+    .with_profile(profile)
+    .with_search(search);
     if let Some(counts) = task_counts_flag() {
         config.task_counts = counts;
     }
     let threads = threads_flag();
     eprintln!(
-        "census: {} benchmarks per n over n = {:?} (profile {}, {} worker threads)",
-        config.benchmarks, config.task_counts, profile, threads
+        "census: {} benchmarks per n over n = {:?} (profile {}, search {}, {} worker threads)",
+        config.benchmarks, config.task_counts, profile, search.mode, threads
     );
     if profile == PeriodModel::GridSnapped {
         warm_margin_tables(threads);
@@ -35,17 +40,12 @@ fn main() -> std::io::Result<()> {
     }
     let (rows, witnesses) = run_census_collecting(&config, threads);
     println!("{}", format_census(&rows));
-    let csv_name = if profile == PeriodModel::GridSnapped {
-        "census.csv".to_string()
-    } else {
-        format!("census_{profile}.csv")
-    };
     let path = write_csv(
-        &csv_name,
-        "n,benchmarks,solvable,interference_anomalies,priority_raise_anomalies,opa_incomplete,unsafe_invalid,certificate_lies",
+        &csv_file_name("census", profile, &search),
+        "n,benchmarks,solvable,interference_anomalies,priority_raise_anomalies,opa_incomplete,unsafe_invalid,certificate_lies,truncated",
         rows.iter().map(|r| {
             format!(
-                "{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{}",
                 r.n,
                 r.benchmarks,
                 r.solvable,
@@ -53,7 +53,8 @@ fn main() -> std::io::Result<()> {
                 r.priority_raise_anomalies,
                 r.opa_incomplete,
                 r.unsafe_invalid,
-                r.certificate_lies
+                r.certificate_lies,
+                r.truncated
             )
         }),
     )?;

@@ -1,29 +1,44 @@
 //! Regenerates the paper's Fig. 5 (assignment runtime vs. task count).
 //! Pass `--quick` for a reduced run, `--profile NAME` to select the
-//! benchmark period model, and `--n LIST` (e.g. `--n 4,8,12`) to
-//! override the task-count sweep. `--threads N` only affects the margin-table
-//! warm-up: the timing loop itself is single-threaded so workers cannot
-//! perturb the measured runtimes.
+//! benchmark period model, `--n LIST` (e.g. `--n 4,8,12`) to override
+//! the task-count sweep, `--search NAME` to pick the assignment search
+//! being timed (`backtracking` default, `portfolio`, `opa`), and
+//! `--budget N` to cap the logical checks each instance may spend
+//! (bounds the n ≥ 16 exponential tail on the continuous profiles).
+//! `--threads N` only affects the margin-table warm-up: the timing
+//! loop itself is single-threaded so workers cannot perturb the
+//! measured runtimes.
 
 use csa_experiments::{
-    empirical_order, profile_flag, quick_flag, run_fig5, task_counts_flag, threads_flag,
-    warm_interpolated_tables, warm_margin_tables, write_csv, Fig5Config, PeriodModel,
+    budget_flag, csv_file_name, empirical_order, profile_flag, quick_flag, run_fig5, search_flag,
+    task_counts_flag, threads_flag, warm_interpolated_tables, warm_margin_tables, write_csv,
+    Fig5Config, PeriodModel, SearchConfig,
 };
 
 fn main() -> std::io::Result<()> {
     let profile = profile_flag();
+    let search = SearchConfig::new(search_flag(), budget_flag());
     let mut config = if quick_flag() {
         Fig5Config::quick()
     } else {
         Fig5Config::paper()
     }
-    .with_profile(profile);
+    .with_profile(profile)
+    .with_search(search);
     if let Some(counts) = task_counts_flag() {
         config.task_counts = counts;
     }
     eprintln!(
-        "fig5: {} benchmarks per n over n = {:?} (profile {})",
-        config.benchmarks, config.task_counts, profile
+        "fig5: {} benchmarks per n over n = {:?} (profile {}, search {}, budget {})",
+        config.benchmarks,
+        config.task_counts,
+        profile,
+        search.mode,
+        if search.is_budgeted() {
+            search.budget.to_string()
+        } else {
+            "unbounded".to_string()
+        }
     );
     if profile == PeriodModel::GridSnapped {
         warm_margin_tables(threads_flag());
@@ -32,25 +47,33 @@ fn main() -> std::io::Result<()> {
     }
     let points = run_fig5(&config);
     println!(
-        "{:>4} {:>16} {:>16} {:>12} {:>10} {:>12} {:>10}",
-        "n", "backtrack(us)", "unsafe_quad(us)", "bt checks", "bt hits", "uq checks", "backtracks"
+        "{:>4} {:>16} {:>16} {:>12} {:>10} {:>12} {:>10} {:>10}",
+        "n",
+        "search(us)",
+        "unsafe_quad(us)",
+        "checks",
+        "hits",
+        "uq checks",
+        "backtracks",
+        "truncated"
     );
     for p in &points {
         println!(
-            "{:>4} {:>16.2} {:>16.2} {:>12.1} {:>10.2} {:>12.1} {:>10.3}",
+            "{:>4} {:>16.2} {:>16.2} {:>12.1} {:>10.2} {:>12.1} {:>10.3} {:>9.1}%",
             p.n,
-            p.backtracking_secs * 1e6,
+            p.search_secs * 1e6,
             p.unsafe_quadratic_secs * 1e6,
-            p.backtracking_checks,
-            p.backtracking_cache_hits,
+            p.search_checks,
+            p.search_cache_hits,
             p.unsafe_quadratic_checks,
-            p.backtracks
+            p.backtracks,
+            p.truncated_rate * 100.0
         );
     }
-    let bt_order = empirical_order(
+    let search_order = empirical_order(
         &points
             .iter()
-            .map(|p| (p.n as f64, p.backtracking_checks))
+            .map(|p| (p.n as f64, p.search_checks))
             .collect::<Vec<_>>(),
     );
     let uq_order = empirical_order(
@@ -59,25 +82,24 @@ fn main() -> std::io::Result<()> {
             .map(|p| (p.n as f64, p.unsafe_quadratic_checks))
             .collect::<Vec<_>>(),
     );
-    println!("empirical check-count order: backtracking n^{bt_order:.2}, unsafe n^{uq_order:.2}");
-    let csv_name = if profile == PeriodModel::GridSnapped {
-        "fig5.csv".to_string()
-    } else {
-        format!("fig5_{profile}.csv")
-    };
+    println!(
+        "empirical check-count order: {} n^{search_order:.2}, unsafe n^{uq_order:.2}",
+        search.mode
+    );
     let path = write_csv(
-        &csv_name,
-        "n,backtracking_us,unsafe_quadratic_us,backtracking_checks,backtracking_cache_hits,unsafe_checks,backtracks",
+        &csv_file_name("fig5", profile, &search),
+        "n,search_us,unsafe_quadratic_us,search_checks,search_cache_hits,unsafe_checks,backtracks,truncated_rate",
         points.iter().map(|p| {
             format!(
-                "{},{:.3},{:.3},{:.2},{:.2},{:.2},{:.4}",
+                "{},{:.3},{:.3},{:.2},{:.2},{:.2},{:.4},{:.4}",
                 p.n,
-                p.backtracking_secs * 1e6,
+                p.search_secs * 1e6,
                 p.unsafe_quadratic_secs * 1e6,
-                p.backtracking_checks,
-                p.backtracking_cache_hits,
+                p.search_checks,
+                p.search_cache_hits,
                 p.unsafe_quadratic_checks,
-                p.backtracks
+                p.backtracks,
+                p.truncated_rate
             )
         }),
     )?;

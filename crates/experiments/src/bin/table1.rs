@@ -3,30 +3,35 @@
 //! any thread count), and `--profile NAME` to select the benchmark
 //! period model (`grid-snapped` legacy default, `continuous`,
 //! `harmonic-stress`, `margin-tight`). `--n LIST` (e.g. `--n 4,8,12`)
-//! overrides the task-count sweep. Every invalid instance found is
-//! serialized as a replayable witness line.
+//! overrides the task-count sweep; `--search NAME` selects the solver
+//! behind the feasibility column (`backtracking` default, `portfolio`,
+//! `opa`) and `--budget N` caps its logical checks per instance.
+//! Every invalid instance found is serialized as a replayable witness
+//! line.
 
 use csa_experiments::{
-    format_table1, profile_flag, quick_flag, run_table1_collecting, task_counts_flag, threads_flag,
-    warm_interpolated_tables, warm_margin_tables, write_csv, write_witness_file, PeriodModel,
-    Table1Config,
+    budget_flag, csv_file_name, format_table1, profile_flag, quick_flag, run_table1_collecting,
+    search_flag, task_counts_flag, threads_flag, warm_interpolated_tables, warm_margin_tables,
+    write_csv, write_witness_file, PeriodModel, SearchConfig, Table1Config,
 };
 
 fn main() -> std::io::Result<()> {
     let profile = profile_flag();
+    let search = SearchConfig::new(search_flag(), budget_flag());
     let mut config = if quick_flag() {
         Table1Config::quick()
     } else {
         Table1Config::paper()
     }
-    .with_profile(profile);
+    .with_profile(profile)
+    .with_search(search);
     if let Some(counts) = task_counts_flag() {
         config.task_counts = counts;
     }
     let threads = threads_flag();
     eprintln!(
-        "table1: {} benchmarks per n over n = {:?} (seed {}, profile {}, {} worker threads)",
-        config.benchmarks, config.task_counts, config.seed, profile, threads
+        "table1: {} benchmarks per n over n = {:?} (seed {}, profile {}, search {}, {} worker threads)",
+        config.benchmarks, config.task_counts, config.seed, profile, search.mode, threads
     );
     if profile == PeriodModel::GridSnapped {
         warm_margin_tables(threads);
@@ -35,22 +40,18 @@ fn main() -> std::io::Result<()> {
     }
     let (rows, witnesses) = run_table1_collecting(&config, threads);
     println!("{}", format_table1(&rows));
-    let csv_name = if profile == PeriodModel::GridSnapped {
-        "table1.csv".to_string()
-    } else {
-        format!("table1_{profile}.csv")
-    };
     let path = write_csv(
-        &csv_name,
-        "n,benchmarks,invalid,no_solution,backtracking_solved,invalid_pct",
+        &csv_file_name("table1", profile, &search),
+        "n,benchmarks,invalid,no_solution,solved,truncated,invalid_pct",
         rows.iter().map(|r| {
             format!(
-                "{},{},{},{},{},{:.4}",
+                "{},{},{},{},{},{},{:.4}",
                 r.n,
                 r.benchmarks,
                 r.invalid,
                 r.no_solution,
-                r.backtracking_solved,
+                r.solved,
+                r.truncated,
                 r.invalid_pct()
             )
         }),

@@ -15,6 +15,7 @@
 use csa_experiments::{
     profile_flag, quick_flag, run_census_collecting, task_counts_flag, threads_flag,
     warm_interpolated_tables, warm_margin_tables, write_witness_file, CensusConfig, PeriodModel,
+    SearchConfig,
 };
 
 /// Strict `--flag VALUE` / `--flag=VALUE` u64 parser: a present flag
@@ -44,11 +45,14 @@ fn main() -> std::io::Result<()> {
     let benchmarks = u64_arg("--benchmarks", if quick_flag() { 500 } else { 20_000 }) as usize;
     let seed = u64_arg("--seed", 77);
     let threads = threads_flag();
+    // Always the complete unbudgeted search: the corpus is a committed
+    // regression surface and must not depend on `--search`/`--budget`.
     let config = CensusConfig {
         task_counts,
         benchmarks,
         seed,
         profile,
+        search: SearchConfig::default(),
     };
     eprintln!(
         "witness-corpus: {benchmarks} benchmarks per n over n = {:?} (seed {seed}, profile {profile}, {threads} worker threads)",

@@ -14,9 +14,10 @@
 
 use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
 use crate::parallel::{instance_seed, parallel_map};
+use crate::search::SearchConfig;
 use crate::witness::{Witness, WitnessKind};
 use csa_core::{
-    audsley_opa, backtracking, find_interference_removal_anomaly, find_priority_raise_anomaly,
+    audsley_opa, find_interference_removal_anomaly, find_priority_raise_anomaly,
     is_valid_assignment, unsafe_quadratic, verify_witness, ControlTask, StabilityChecker,
 };
 use rand::rngs::StdRng;
@@ -33,6 +34,10 @@ pub struct CensusConfig {
     pub seed: u64,
     /// Benchmark generator profile.
     pub profile: PeriodModel,
+    /// The assignment search producing the per-benchmark feasibility
+    /// verdict and the assignment the anomaly detectors inspect
+    /// (default: unbudgeted backtracking).
+    pub search: SearchConfig,
 }
 
 impl CensusConfig {
@@ -45,6 +50,7 @@ impl CensusConfig {
             benchmarks: 20_000,
             seed: 77,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         }
     }
 
@@ -55,12 +61,19 @@ impl CensusConfig {
             benchmarks: 300,
             seed: 77,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         }
     }
 
     /// The same configuration under a different generator profile.
     pub fn with_profile(mut self, profile: PeriodModel) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// The same configuration under a different assignment search.
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
         self
     }
 }
@@ -72,13 +85,14 @@ pub struct CensusRow {
     pub n: usize,
     /// Benchmarks examined.
     pub benchmarks: usize,
-    /// Benchmarks where backtracking found a valid assignment.
+    /// Benchmarks where the configured search found a valid assignment.
     pub solvable: usize,
     /// Solvable benchmarks containing an interference-removal anomaly.
     pub interference_anomalies: usize,
     /// Solvable benchmarks containing a priority-raise anomaly.
     pub priority_raise_anomalies: usize,
-    /// Benchmarks where OPA failed but backtracking succeeded.
+    /// Benchmarks where OPA failed but the configured search
+    /// succeeded (0 by construction when the search *is* OPA).
     pub opa_incomplete: usize,
     /// Benchmarks where Unsafe Quadratic emitted an invalid assignment.
     pub unsafe_invalid: usize,
@@ -87,6 +101,10 @@ pub struct CensusRow {
     /// task — the raw event behind the paper's Table I, independent of
     /// any particular assignment heuristic's trajectory.
     pub certificate_lies: usize,
+    /// Benchmarks where the configured search exhausted its budget
+    /// without deciding (counted as unsolvable but reported apart:
+    /// "unknown", not "infeasible"; always 0 for unbudgeted searches).
+    pub truncated: usize,
 }
 
 /// Does the benchmark contain a task that is stable under maximum
@@ -141,6 +159,7 @@ pub fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
 #[derive(Debug, Clone)]
 struct InstanceFlags {
     solvable: bool,
+    truncated: bool,
     interference_anomaly: bool,
     priority_raise_anomaly: bool,
     opa_incomplete: bool,
@@ -178,7 +197,7 @@ pub fn run_census_collecting(
                 let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, n, k));
                 let tasks = generate_benchmark(&bench_cfg, &mut rng);
                 let certificate_lie = has_certificate_lie(&tasks);
-                let bt = backtracking(&tasks);
+                let bt = config.search.solve(&tasks);
                 let (solvable, interference_anomaly, priority_raise_anomaly, opa_incomplete) =
                     match &bt.assignment {
                         Some(pa) => {
@@ -209,6 +228,7 @@ pub fn run_census_collecting(
                     || certificate_lie;
                 InstanceFlags {
                     solvable,
+                    truncated: bt.stats.truncated,
                     interference_anomaly,
                     priority_raise_anomaly,
                     opa_incomplete,
@@ -226,9 +246,11 @@ pub fn run_census_collecting(
                 opa_incomplete: 0,
                 unsafe_invalid: 0,
                 certificate_lies: 0,
+                truncated: 0,
             };
             for (k, f) in flags.into_iter().enumerate() {
                 row.solvable += usize::from(f.solvable);
+                row.truncated += usize::from(f.truncated);
                 row.interference_anomalies += usize::from(f.interference_anomaly);
                 row.priority_raise_anomalies += usize::from(f.priority_raise_anomaly);
                 row.opa_incomplete += usize::from(f.opa_incomplete);
@@ -272,7 +294,7 @@ pub fn format_census(rows: &[CensusRow]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:>4} {:>10} {:>10} {:>14} {:>14} {:>12} {:>14} {:>14}",
+        "{:>4} {:>10} {:>10} {:>14} {:>14} {:>12} {:>14} {:>14} {:>10}",
         "n",
         "bench",
         "solvable",
@@ -280,7 +302,8 @@ pub fn format_census(rows: &[CensusRow]) -> String {
         "prio.anom",
         "opa.fail",
         "unsafe.invalid",
-        "cert.lies"
+        "cert.lies",
+        "truncated"
     );
     for r in rows {
         let pct = |x: usize, base: usize| {
@@ -292,7 +315,7 @@ pub fn format_census(rows: &[CensusRow]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:>4} {:>10} {:>10} {:>13.2}% {:>13.2}% {:>11.2}% {:>13.2}% {:>13.3}%",
+            "{:>4} {:>10} {:>10} {:>13.2}% {:>13.2}% {:>11.2}% {:>13.2}% {:>13.3}% {:>9.2}%",
             r.n,
             r.benchmarks,
             r.solvable,
@@ -301,6 +324,7 @@ pub fn format_census(rows: &[CensusRow]) -> String {
             pct(r.opa_incomplete, r.solvable),
             pct(r.unsafe_invalid, r.benchmarks),
             pct(r.certificate_lies, r.benchmarks),
+            pct(r.truncated, r.benchmarks),
         );
     }
     out
@@ -317,6 +341,7 @@ mod tests {
             benchmarks: 150,
             seed: 5,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         });
         let r = &rows[0];
         assert!(r.solvable <= r.benchmarks);
@@ -341,6 +366,7 @@ mod tests {
             benchmarks: 2,
             seed: 5,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         });
         assert_eq!(rows[0].n, 70);
         assert!(rows[0].solvable <= 2);
@@ -353,6 +379,7 @@ mod tests {
             benchmarks: 80,
             seed: 77,
             profile: PeriodModel::Continuous,
+            search: SearchConfig::default(),
         };
         let (serial, serial_wits) = run_census_collecting(&cfg, 1);
         for threads in [2, 4] {
@@ -369,6 +396,7 @@ mod tests {
             benchmarks: 200,
             seed: 77,
             profile: PeriodModel::MarginTight,
+            search: SearchConfig::default(),
         };
         let (rows, wits) = run_census_collecting(&cfg, 0);
         let count = |kind| wits.iter().filter(|w| w.kind == kind).count();
@@ -400,10 +428,12 @@ mod tests {
             opa_incomplete: 0,
             unsafe_invalid: 0,
             certificate_lies: 1,
+            truncated: 0,
         }];
         let s = format_census(&rows);
         assert!(s.contains("interf.anom"));
         assert!(s.contains("cert.lies"));
+        assert!(s.contains("truncated"));
         assert!(s.contains("11.11%"));
         assert!(s.contains("10.000%"));
     }

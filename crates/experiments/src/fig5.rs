@@ -1,15 +1,20 @@
-//! Fig. 5: execution time of the backtracking priority assignment
-//! (Algorithm 1) against the Unsafe Quadratic baseline, as a function of
-//! the number of tasks.
+//! Fig. 5: execution time of the configured assignment search (default:
+//! the backtracking Algorithm 1) against the Unsafe Quadratic baseline,
+//! as a function of the number of tasks.
 //!
 //! Absolute times are Rust-scale (microseconds) rather than the paper's
 //! MATLAB-scale (seconds); the reproduced object is the *growth shape*
 //! (quadratic on average for both) and the closeness of the two
-//! algorithms (see EXPERIMENTS.md).
+//! algorithms (see EXPERIMENTS.md). Selecting
+//! [`SearchMode::Portfolio`](crate::SearchMode::Portfolio) with a
+//! budget bounds the per-instance work, which is what makes paper-scale
+//! n ≥ 16 sweeps on the continuous profiles feasible (EXPERIMENTS.md
+//! §"Portfolio search").
 
 use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
 use crate::parallel::instance_seed;
-use csa_core::{backtracking, unsafe_quadratic};
+use crate::search::SearchConfig;
+use csa_core::unsafe_quadratic;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -25,6 +30,9 @@ pub struct Fig5Config {
     pub seed: u64,
     /// Benchmark generator profile.
     pub profile: PeriodModel,
+    /// The assignment search being timed (default: unbudgeted
+    /// backtracking, the paper's Algorithm 1).
+    pub search: SearchConfig,
 }
 
 impl Fig5Config {
@@ -36,6 +44,7 @@ impl Fig5Config {
             benchmarks: 2_000,
             seed: 5,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         }
     }
 
@@ -46,12 +55,19 @@ impl Fig5Config {
             benchmarks: 100,
             seed: 5,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         }
     }
 
     /// The same configuration under a different generator profile.
     pub fn with_profile(mut self, profile: PeriodModel) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// The same configuration under a different assignment search.
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
         self
     }
 }
@@ -61,20 +77,26 @@ impl Fig5Config {
 pub struct Fig5Point {
     /// Number of tasks.
     pub n: usize,
-    /// Mean wall-clock time of Algorithm 1 per benchmark (seconds).
-    pub backtracking_secs: f64,
+    /// Mean wall-clock time of the configured search per benchmark
+    /// (seconds). With the default [`SearchConfig`] this is the
+    /// paper's Algorithm 1 timing.
+    pub search_secs: f64,
     /// Mean wall-clock time of Unsafe Quadratic per benchmark (seconds).
     pub unsafe_quadratic_secs: f64,
-    /// Mean *logical* exact stability checks per benchmark, Algorithm 1
-    /// (the paper's work metric, independent of memoization).
-    pub backtracking_checks: f64,
-    /// Mean logical checks answered from the memo table per benchmark,
-    /// Algorithm 1 (`checks - cache_hits` were actually computed).
-    pub backtracking_cache_hits: f64,
+    /// Mean *logical* exact stability checks per benchmark for the
+    /// configured search (the paper's work metric, independent of
+    /// memoization).
+    pub search_checks: f64,
+    /// Mean logical checks answered from the memo table per benchmark
+    /// (`checks - cache_hits` were actually computed).
+    pub search_cache_hits: f64,
     /// Mean exact stability checks per benchmark, Unsafe Quadratic.
     pub unsafe_quadratic_checks: f64,
-    /// Mean backtracks per benchmark (Algorithm 1).
+    /// Mean backtracks per benchmark.
     pub backtracks: f64,
+    /// Fraction of benchmarks where the configured search exhausted its
+    /// budget without deciding (always 0 for unbudgeted searches).
+    pub truncated_rate: f64,
 }
 
 /// Runs the Fig. 5 experiment.
@@ -96,33 +118,36 @@ pub fn run_fig5(config: &Fig5Config) -> Vec<Fig5Point> {
                 })
                 .collect();
 
-            let mut bt_time = 0.0f64;
+            let mut search_time = 0.0f64;
             let mut uq_time = 0.0f64;
-            let mut bt_checks = 0u64;
-            let mut bt_hits = 0u64;
+            let mut search_checks = 0u64;
+            let mut search_hits = 0u64;
             let mut uq_checks = 0u64;
-            let mut bt_backs = 0u64;
+            let mut backtracks = 0u64;
+            let mut truncated = 0u64;
             for tasks in &benchmarks {
                 let t0 = Instant::now();
-                let bt = backtracking(tasks);
-                bt_time += t0.elapsed().as_secs_f64();
+                let out = config.search.solve(tasks);
+                search_time += t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
                 let uq = unsafe_quadratic(tasks);
                 uq_time += t1.elapsed().as_secs_f64();
-                bt_checks += bt.stats.checks;
-                bt_hits += bt.stats.cache_hits;
+                search_checks += out.stats.checks;
+                search_hits += out.stats.cache_hits;
                 uq_checks += uq.stats.checks;
-                bt_backs += bt.stats.backtracks;
+                backtracks += out.stats.backtracks;
+                truncated += u64::from(out.stats.truncated);
             }
             let k = config.benchmarks as f64;
             Fig5Point {
                 n,
-                backtracking_secs: bt_time / k,
+                search_secs: search_time / k,
                 unsafe_quadratic_secs: uq_time / k,
-                backtracking_checks: bt_checks as f64 / k,
-                backtracking_cache_hits: bt_hits as f64 / k,
+                search_checks: search_checks as f64 / k,
+                search_cache_hits: search_hits as f64 / k,
                 unsafe_quadratic_checks: uq_checks as f64 / k,
-                backtracks: bt_backs as f64 / k,
+                backtracks: backtracks as f64 / k,
+                truncated_rate: truncated as f64 / k,
             }
         })
         .collect()
@@ -159,21 +184,40 @@ mod tests {
             benchmarks: 60,
             seed: 1,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         });
         assert_eq!(pts.len(), 3);
         // Work grows with n.
-        assert!(pts[2].backtracking_checks > pts[0].backtracking_checks);
+        assert!(pts[2].search_checks > pts[0].search_checks);
         assert!(pts[2].unsafe_quadratic_checks > pts[0].unsafe_quadratic_checks);
         // Check counts stay polynomial: far below exponential blowup.
         for p in &pts {
             let n = p.n as f64;
             assert!(
-                p.backtracking_checks < 20.0 * n * n,
+                p.search_checks < 20.0 * n * n,
                 "n={}: {} checks looks super-quadratic",
                 p.n,
-                p.backtracking_checks
+                p.search_checks
             );
+            // Unbudgeted backtracking can never truncate.
+            assert_eq!(p.truncated_rate, 0.0);
         }
+    }
+
+    #[test]
+    fn portfolio_mode_bounds_the_check_count() {
+        use crate::search::SearchMode;
+        let budget = 2_000u64;
+        let pts = run_fig5(&Fig5Config {
+            task_counts: vec![8],
+            benchmarks: 50,
+            seed: 1,
+            profile: PeriodModel::HarmonicStress,
+            search: SearchConfig::new(SearchMode::Portfolio, budget),
+        });
+        // Mean spend respects the budget (+ documented < n slop).
+        assert!(pts[0].search_checks < (budget + 8) as f64);
+        assert!((0.0..=1.0).contains(&pts[0].truncated_rate));
     }
 
     #[test]
@@ -194,11 +238,9 @@ mod tests {
             benchmarks: 80,
             seed: 3,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         });
-        let data: Vec<(f64, f64)> = pts
-            .iter()
-            .map(|p| (p.n as f64, p.backtracking_checks))
-            .collect();
+        let data: Vec<(f64, f64)> = pts.iter().map(|p| (p.n as f64, p.search_checks)).collect();
         let order = empirical_order(&data);
         assert!(
             (0.8..3.2).contains(&order),

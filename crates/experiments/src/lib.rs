@@ -28,13 +28,41 @@
 //!   benchmark instances across workers: results are bit-identical at
 //!   any thread count because every instance derives its own RNG stream
 //!   from `(seed, n, instance_index)`.
+//! * [`SearchConfig`] — the assignment search behind each sweep's
+//!   feasibility verdicts: complete backtracking (default), the
+//!   anytime [`portfolio`](csa_core::portfolio) (DESIGN.md §8), or
+//!   strict OPA, with an optional per-instance check budget.
 //!
 //! The `table1`, `fig2`, `fig4`, `fig5`, `census` and `all` binaries wrap
 //! these with console tables and CSV output under `results/`; all accept
 //! `--quick` (reduced scale) and `--threads N` (worker count, default:
 //! available parallelism), and the benchmark-driven ones (`table1`,
 //! `fig5`, `census`, `all`) also `--profile NAME` (period model,
-//! default: `grid-snapped`).
+//! default: `grid-snapped`), `--search NAME` (solver, default:
+//! `backtracking`), `--budget N` (check cap, default: unbounded) and
+//! `--n LIST` (task-count override). The benchmark distribution and
+//! period-model profiles are DESIGN.md §3; the deterministic parallel
+//! driver is DESIGN.md §7.
+//!
+//! # Example
+//!
+//! Generate one benchmark instance and decide it with a budgeted
+//! anytime search:
+//!
+//! ```
+//! use csa_experiments::{
+//!     generate_benchmark, instance_seed, BenchmarkConfig, PeriodModel, SearchConfig, SearchMode,
+//! };
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let cfg = BenchmarkConfig::with_model(4, PeriodModel::Continuous);
+//! let mut rng = StdRng::seed_from_u64(instance_seed(7, 4, 0));
+//! let tasks = generate_benchmark(&cfg, &mut rng);
+//! let out = SearchConfig::new(SearchMode::Portfolio, 10_000).solve(&tasks);
+//! // A truncated `None` would mean "unknown", never "infeasible".
+//! println!("feasible: {} ({} checks)", out.assignment.is_some(), out.stats.checks);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,6 +76,7 @@ mod margins;
 mod parallel;
 mod period_opt;
 mod report;
+mod search;
 mod table1;
 mod witness;
 
@@ -69,8 +98,10 @@ pub use period_opt::{
     PeriodOptComparison,
 };
 pub use report::{
-    profile_flag, quick_flag, task_counts_flag, threads_flag, write_csv, RESULTS_DIR,
+    budget_flag, csv_file_name, profile_flag, quick_flag, search_flag, task_counts_flag,
+    threads_flag, write_csv, RESULTS_DIR,
 };
+pub use search::{SearchConfig, SearchMode};
 pub use table1::{
     format_table1, run_table1, run_table1_collecting, run_table1_with_threads, Table1Config,
     Table1Row,

@@ -118,6 +118,101 @@ fn parse_task_counts(args: impl Iterator<Item = String>) -> Result<Option<Vec<us
     Ok(None)
 }
 
+/// Parses the assignment-search flag used by the benchmark-driven
+/// binaries: `--search NAME` (or `--search=NAME`) selects the
+/// [`SearchMode`](crate::SearchMode) the sweep's feasibility verdicts
+/// come from; absent, the historical unbudgeted `backtracking` is used.
+/// An unknown name aborts with the list of valid modes.
+pub fn search_flag() -> crate::SearchMode {
+    match parse_search(std::env::args()) {
+        Ok(mode) => mode,
+        Err(bad) => {
+            let names: Vec<&str> = crate::SearchMode::ALL.iter().map(|m| m.name()).collect();
+            eprintln!(
+                "unknown search {bad:?}; valid searches: {}",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_search(args: impl Iterator<Item = String>) -> Result<crate::SearchMode, String> {
+    let args: Vec<String> = args.collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--search" {
+            // A missing value is an error, not a silent default.
+            Some(args.get(i + 1).map(String::as_str).unwrap_or(""))
+        } else {
+            a.strip_prefix("--search=")
+        };
+        if let Some(v) = value {
+            return crate::SearchMode::parse(v).ok_or_else(|| v.to_string());
+        }
+    }
+    Ok(crate::SearchMode::default())
+}
+
+/// Parses the check-budget flag used by the benchmark-driven binaries:
+/// `--budget N` (or `--budget=N`) caps the logical exact stability
+/// checks each instance's search may spend (see
+/// [`SearchConfig`](crate::SearchConfig)); absent, the search is
+/// unbounded. `0` or a non-number aborts — a zero budget could decide
+/// nothing and would silently report every instance truncated.
+pub fn budget_flag() -> u64 {
+    match parse_budget(std::env::args()) {
+        Ok(budget) => budget,
+        Err(bad) => {
+            eprintln!("bad --budget value {bad:?}; expected a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_budget(args: impl Iterator<Item = String>) -> Result<u64, String> {
+    let args: Vec<String> = args.collect();
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--budget" {
+            Some(args.get(i + 1).map(String::as_str).unwrap_or(""))
+        } else {
+            a.strip_prefix("--budget=")
+        };
+        if let Some(v) = value {
+            return match v.parse::<u64>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(v.to_string()),
+            };
+        }
+    }
+    Ok(u64::MAX)
+}
+
+/// Builds the CSV file name for a benchmark-driven sweep: the base name,
+/// a `_{profile}` suffix off the legacy grid-snapped default, and a
+/// `_{search}[_budgetN]` suffix off the default unbudgeted
+/// backtracking — so runs under different configurations never
+/// overwrite each other's results.
+pub fn csv_file_name(
+    base: &str,
+    profile: crate::PeriodModel,
+    search: &crate::SearchConfig,
+) -> String {
+    let mut name = base.to_string();
+    if profile != crate::PeriodModel::GridSnapped {
+        name.push('_');
+        name.push_str(profile.name());
+    }
+    if search.mode != crate::SearchMode::Backtracking || search.is_budgeted() {
+        name.push('_');
+        name.push_str(search.mode.name());
+        if search.is_budgeted() {
+            name.push_str(&format!("_budget{}", search.budget));
+        }
+    }
+    name.push_str(".csv");
+    name
+}
+
 fn parse_threads(args: impl Iterator<Item = String>) -> usize {
     let args: Vec<String> = args.collect();
     for (i, a) in args.iter().enumerate() {
@@ -175,6 +270,77 @@ mod tests {
         );
         // Missing value reads as an empty profile name, not a default.
         assert!(parse(&["bin", "--profile"]).is_err());
+    }
+
+    #[test]
+    fn search_flag_parsing() {
+        use crate::SearchMode;
+        let parse = |args: &[&str]| parse_search(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["bin"]), Ok(SearchMode::Backtracking));
+        assert_eq!(
+            parse(&["bin", "--search", "portfolio"]),
+            Ok(SearchMode::Portfolio)
+        );
+        assert_eq!(
+            parse(&["bin", "--search=opa", "--quick"]),
+            Ok(SearchMode::Opa)
+        );
+        assert_eq!(
+            parse(&["bin", "--quick", "--search", "backtracking"]),
+            Ok(SearchMode::Backtracking)
+        );
+        assert_eq!(parse(&["bin", "--search", "soup"]), Err("soup".to_string()));
+        // Missing value reads as an empty mode name, not a default.
+        assert!(parse(&["bin", "--search"]).is_err());
+    }
+
+    #[test]
+    fn budget_flag_parsing() {
+        let parse = |args: &[&str]| parse_budget(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&["bin"]), Ok(u64::MAX));
+        assert_eq!(parse(&["bin", "--budget", "50000"]), Ok(50_000));
+        assert_eq!(parse(&["bin", "--budget=123", "--quick"]), Ok(123));
+        assert_eq!(parse(&["bin", "--budget", "0"]), Err("0".to_string()));
+        assert_eq!(parse(&["bin", "--budget", "soup"]), Err("soup".to_string()));
+        assert!(parse(&["bin", "--budget"]).is_err());
+    }
+
+    #[test]
+    fn csv_names_encode_profile_and_search() {
+        use crate::{PeriodModel, SearchConfig, SearchMode};
+        let default = SearchConfig::default();
+        assert_eq!(
+            csv_file_name("fig5", PeriodModel::GridSnapped, &default),
+            "fig5.csv"
+        );
+        assert_eq!(
+            csv_file_name("fig5", PeriodModel::Continuous, &default),
+            "fig5_continuous.csv"
+        );
+        assert_eq!(
+            csv_file_name(
+                "fig5",
+                PeriodModel::Continuous,
+                &SearchConfig::new(SearchMode::Portfolio, 50_000)
+            ),
+            "fig5_continuous_portfolio_budget50000.csv"
+        );
+        assert_eq!(
+            csv_file_name(
+                "table1",
+                PeriodModel::GridSnapped,
+                &SearchConfig::new(SearchMode::Opa, u64::MAX)
+            ),
+            "table1_opa.csv"
+        );
+        assert_eq!(
+            csv_file_name(
+                "census",
+                PeriodModel::GridSnapped,
+                &SearchConfig::new(SearchMode::Backtracking, 1_000)
+            ),
+            "census_backtracking_budget1000.csv"
+        );
     }
 
     #[test]

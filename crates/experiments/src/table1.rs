@@ -19,8 +19,9 @@
 
 use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
 use crate::parallel::{instance_seed, parallel_map};
+use crate::search::SearchConfig;
 use crate::witness::{Witness, WitnessKind};
-use csa_core::{backtracking, is_valid_assignment, unsafe_quadratic, ControlTask};
+use csa_core::{is_valid_assignment, unsafe_quadratic, ControlTask};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -36,6 +37,9 @@ pub struct Table1Config {
     pub seed: u64,
     /// Benchmark generator profile.
     pub profile: PeriodModel,
+    /// The assignment search used for the feasibility column (default:
+    /// unbudgeted backtracking, the historical behavior).
+    pub search: SearchConfig,
 }
 
 impl Table1Config {
@@ -47,6 +51,7 @@ impl Table1Config {
             benchmarks: 10_000,
             seed: 2017,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         }
     }
 
@@ -57,12 +62,19 @@ impl Table1Config {
             benchmarks: 500,
             seed: 2017,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         }
     }
 
     /// The same configuration under a different generator profile.
     pub fn with_profile(mut self, profile: PeriodModel) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// The same configuration under a different assignment search.
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = search;
         self
     }
 }
@@ -78,8 +90,12 @@ pub struct Table1Row {
     pub invalid: usize,
     /// Unsafe Quadratic produced no assignment at all.
     pub no_solution: usize,
-    /// Backtracking (Algorithm 1) found a valid assignment.
-    pub backtracking_solved: usize,
+    /// The configured search (default: backtracking Algorithm 1) found
+    /// a valid assignment.
+    pub solved: usize,
+    /// The configured search exhausted its budget without deciding
+    /// (always 0 for unbudgeted searches; "unknown", not "infeasible").
+    pub truncated: usize,
 }
 
 impl Table1Row {
@@ -102,7 +118,8 @@ impl Table1Row {
 struct InstanceOutcome {
     invalid: bool,
     no_solution: bool,
-    backtracking_solved: bool,
+    solved: bool,
+    truncated: bool,
     invalid_tasks: Option<Vec<ControlTask>>,
 }
 
@@ -113,13 +130,14 @@ struct InstanceOutcome {
 /// # Examples
 ///
 /// ```
-/// use csa_experiments::{run_table1, PeriodModel, Table1Config};
+/// use csa_experiments::{run_table1, PeriodModel, SearchConfig, Table1Config};
 ///
 /// let rows = run_table1(&Table1Config {
 ///     task_counts: vec![4],
 ///     benchmarks: 50,
 ///     seed: 1,
 ///     profile: PeriodModel::GridSnapped,
+///     search: SearchConfig::default(),
 /// });
 /// assert_eq!(rows.len(), 1);
 /// assert!(rows[0].invalid_pct() < 100.0);
@@ -158,10 +176,12 @@ pub fn run_table1_collecting(
                     Some(pa) => (!is_valid_assignment(&tasks, &pa), false),
                     None => (false, true),
                 };
+                let search = config.search.solve(&tasks);
                 InstanceOutcome {
                     invalid,
                     no_solution,
-                    backtracking_solved: backtracking(&tasks).assignment.is_some(),
+                    solved: search.assignment.is_some(),
+                    truncated: search.stats.truncated,
                     invalid_tasks: invalid.then_some(tasks),
                 }
             });
@@ -170,12 +190,14 @@ pub fn run_table1_collecting(
                 benchmarks: config.benchmarks,
                 invalid: 0,
                 no_solution: 0,
-                backtracking_solved: 0,
+                solved: 0,
+                truncated: 0,
             };
             for (k, o) in outcomes.into_iter().enumerate() {
                 row.invalid += usize::from(o.invalid);
                 row.no_solution += usize::from(o.no_solution);
-                row.backtracking_solved += usize::from(o.backtracking_solved);
+                row.solved += usize::from(o.solved);
+                row.truncated += usize::from(o.truncated);
                 if let Some(tasks) = o.invalid_tasks {
                     witnesses.push(Witness {
                         kind: WitnessKind::UnsafeInvalid,
@@ -220,12 +242,21 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = write!(out, "{:<28}", "Backtracking solved (%)");
+    let _ = write!(out, "{:<28}", "Search solved (%)");
     for r in rows {
         let _ = write!(
             out,
             "{:>9.2}",
-            100.0 * r.backtracking_solved as f64 / r.benchmarks as f64
+            100.0 * r.solved as f64 / r.benchmarks as f64
+        );
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<28}", "Search truncated (%)");
+    for r in rows {
+        let _ = write!(
+            out,
+            "{:>9.2}",
+            100.0 * r.truncated as f64 / r.benchmarks as f64
         );
     }
     let _ = writeln!(out);
@@ -242,6 +273,7 @@ mod tests {
             benchmarks: 120,
             seed: 99,
             profile: PeriodModel::GridSnapped,
+            search: SearchConfig::default(),
         }
     }
 
@@ -253,7 +285,8 @@ mod tests {
             assert_eq!(rows.len(), 2);
             for r in &rows {
                 assert!(r.invalid + r.no_solution <= r.benchmarks);
-                assert!(r.backtracking_solved <= r.benchmarks);
+                assert!(r.solved <= r.benchmarks);
+                assert_eq!(r.truncated, 0, "unbudgeted search cannot truncate");
                 // Anomalies are rare: the invalid rate must be a small
                 // fraction, mirroring the paper's <= 0.38%. Allow head
                 // room for the small sample.
@@ -266,7 +299,7 @@ mod tests {
                 // Backtracking never solves fewer benchmarks than the
                 // unsafe algorithm validly solves.
                 let valid_unsafe = r.benchmarks - r.no_solution - r.invalid;
-                assert!(r.backtracking_solved >= valid_unsafe);
+                assert!(r.solved >= valid_unsafe);
             }
         }
     }
@@ -286,6 +319,7 @@ mod tests {
             benchmarks: 400,
             seed: 2017,
             profile: PeriodModel::MarginTight,
+            search: SearchConfig::default(),
         };
         let (rows, witnesses) = run_table1_collecting(&cfg, 0);
         assert_eq!(rows[0].invalid, witnesses.len(), "one witness per invalid");
@@ -305,13 +339,16 @@ mod tests {
             benchmarks: 100,
             invalid: 1,
             no_solution: 10,
-            backtracking_solved: 95,
+            solved: 95,
+            truncated: 2,
         }];
         let s = format_table1(&rows);
         assert!(s.contains("Invalid solutions"));
+        assert!(s.contains("Search truncated"));
         assert!(s.contains("1.11")); // 1/90
         assert!(s.contains("10.00"));
         assert!(s.contains("95.00"));
+        assert!(s.contains("2.00"));
     }
 
     #[test]
@@ -321,8 +358,52 @@ mod tests {
             benchmarks: 60,
             seed: 7,
             profile: PeriodModel::Continuous,
+            search: SearchConfig::default(),
         };
         assert_eq!(run_table1(&cfg), run_table1(&cfg));
+    }
+
+    #[test]
+    fn unbudgeted_portfolio_rows_match_backtracking_rows() {
+        // Differential pin: with no budget to hit, the portfolio is a
+        // complete search, so every row of the sweep must be identical
+        // to the historical backtracking rows — at any thread count.
+        use crate::search::SearchMode;
+        let base = Table1Config {
+            task_counts: vec![4, 6],
+            benchmarks: 150,
+            seed: 2017,
+            profile: PeriodModel::Continuous,
+            search: SearchConfig::default(),
+        };
+        let via_portfolio = base
+            .clone()
+            .with_search(SearchConfig::new(SearchMode::Portfolio, u64::MAX));
+        let expect = run_table1(&base);
+        assert_eq!(expect, run_table1(&via_portfolio));
+        assert_eq!(expect, run_table1_with_threads(&via_portfolio, 4));
+        for r in &expect {
+            assert_eq!(r.truncated, 0);
+        }
+    }
+
+    #[test]
+    fn budgeted_portfolio_reports_truncations_honestly() {
+        // An absurdly tiny budget cannot decide any instance: every
+        // benchmark must land in `truncated`, none in `solved` — and
+        // the sweep must stay thread-count invariant.
+        use crate::search::SearchMode;
+        let cfg = Table1Config {
+            task_counts: vec![4],
+            benchmarks: 60,
+            seed: 2017,
+            profile: PeriodModel::Continuous,
+            search: SearchConfig::new(SearchMode::Portfolio, 2),
+        };
+        let rows = run_table1(&cfg);
+        assert_eq!(rows[0].solved, 0);
+        assert_eq!(rows[0].truncated, rows[0].benchmarks);
+        assert_eq!(rows, run_table1_with_threads(&cfg, 3));
     }
 
     #[test]
@@ -335,6 +416,7 @@ mod tests {
             benchmarks: 120,
             seed: 2017,
             profile: PeriodModel::Continuous,
+            search: SearchConfig::default(),
         };
         let (serial_rows, serial_wits) = run_table1_collecting(&cfg, 1);
         assert_eq!(serial_rows, run_table1(&cfg));

@@ -1,0 +1,81 @@
+//! Regression pins for the anytime portfolio search on generator-drawn
+//! instances (DESIGN.md §8): a budgeted run at n = 16 on the
+//! harmonic-stress profile must complete within its budget (plus the
+//! documented < n scoring-pass slop), report truncation honestly when
+//! the cap is tiny, and agree with the complete Algorithm 1 whenever no
+//! budget was hit.
+
+use csa_core::{backtracking, is_valid_assignment, portfolio, portfolio_with_budget};
+use csa_experiments::{generate_benchmark, instance_seed, BenchmarkConfig, PeriodModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn harmonic_stress_instance(n: usize, index: usize) -> Vec<csa_core::ControlTask> {
+    let cfg = BenchmarkConfig::with_model(n, PeriodModel::HarmonicStress);
+    let mut rng = StdRng::seed_from_u64(instance_seed(2017, n, index));
+    generate_benchmark(&cfg, &mut rng)
+}
+
+#[test]
+fn budgeted_portfolio_completes_within_budget_at_n16() {
+    let budget = 25_000u64;
+    for index in 0..20 {
+        let tasks = harmonic_stress_instance(16, index);
+        let out = portfolio_with_budget(&tasks, budget);
+        // The budget bounds the work: at most one candidate-scoring
+        // pass (< n checks) beyond the cap, regardless of how deep the
+        // exponential tail of the underlying search goes.
+        assert!(
+            out.stats.checks < budget + 16,
+            "instance {index}: spent {} checks against budget {budget}",
+            out.stats.checks
+        );
+        // Any produced assignment is valid (every stage is sound).
+        if let Some(pa) = &out.assignment {
+            assert!(!out.truncated());
+            assert!(is_valid_assignment(&tasks, pa), "instance {index}");
+        }
+        // Truncation is the only way to leave an instance undecided.
+        if out.assignment.is_none() {
+            assert!(
+                out.truncated() || backtracking(&tasks).assignment.is_none(),
+                "instance {index}: un-truncated None must mean infeasible"
+            );
+        }
+        // Per-stage accounting adds up.
+        let staged: u64 = out.stages.iter().map(|s| s.checks).sum();
+        assert_eq!(staged, out.stats.checks, "instance {index}");
+    }
+}
+
+#[test]
+fn tiny_budget_reports_truncation_honestly_at_n16() {
+    // A cap far below the n checks OPA needs for its first level can
+    // decide nothing: the run must say "unknown" (truncated, no
+    // assignment), never "infeasible".
+    for index in 0..5 {
+        let tasks = harmonic_stress_instance(16, index);
+        let out = portfolio_with_budget(&tasks, 10);
+        assert!(out.truncated(), "instance {index}");
+        assert!(out.assignment.is_none(), "instance {index}");
+        assert!(out.winner.is_none(), "instance {index}");
+        assert!(out.stats.checks <= 10 + 16, "instance {index}");
+    }
+}
+
+#[test]
+fn unbudgeted_portfolio_matches_backtracking_on_small_harmonic_sets() {
+    // Differential pin at a size where the complete search is cheap:
+    // feasibility must agree instance by instance, and the portfolio
+    // must never truncate without a budget.
+    for index in 0..60 {
+        let tasks = harmonic_stress_instance(6, index);
+        let out = portfolio(&tasks);
+        assert!(!out.truncated(), "instance {index}");
+        assert_eq!(
+            out.assignment.is_some(),
+            backtracking(&tasks).assignment.is_some(),
+            "instance {index}"
+        );
+    }
+}

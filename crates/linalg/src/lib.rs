@@ -3,7 +3,8 @@
 //! The DATE 2017 reproduction mandates that *all* numerics be implemented
 //! from scratch (no control or linear-algebra toolboxes). This crate is the
 //! foundation: dense real/complex matrices plus the handful of structured
-//! solvers sampled-data control needs.
+//! solvers sampled-data control needs. It sits at the bottom of the
+//! workspace layering (DESIGN.md §2) and depends on nothing.
 //!
 //! # Contents
 //!

@@ -15,7 +15,8 @@
 //!
 //! All analysis runs on exact integer [`Ticks`] — the fixed points are
 //! computed without floating-point ceilings, so anomaly detection in
-//! `csa-core` never chases rounding ghosts.
+//! `csa-core` never chases rounding ghosts (DESIGN.md §4; the
+//! zero-allocation [`RtaScratch`] hot path is DESIGN.md §7).
 //!
 //! # Example
 //!

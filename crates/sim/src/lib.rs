@@ -2,7 +2,8 @@
 //!
 //! The paper's analysis (Eqs. 2–4) predicts worst- and best-case response
 //! times; this crate provides the matching *executable* semantics: an
-//! exact, integer-time, preemptive fixed-priority uniprocessor simulator.
+//! exact, integer-time, preemptive fixed-priority uniprocessor simulator
+//! (its place in the layering: DESIGN.md §2).
 //! It serves two roles in the reproduction:
 //!
 //! 1. **Cross-validation** — observed response times of any simulation must

@@ -6,7 +6,7 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use csa_experiments::{empirical_order, run_fig5, Fig5Config, PeriodModel};
+use csa_experiments::{empirical_order, run_fig5, Fig5Config, PeriodModel, SearchConfig};
 
 fn main() {
     let config = Fig5Config {
@@ -14,6 +14,7 @@ fn main() {
         benchmarks: 300,
         seed: 5,
         profile: PeriodModel::GridSnapped,
+        search: SearchConfig::default(),
     };
     println!("# {} benchmarks per task count", config.benchmarks);
     let points = run_fig5(&config);
@@ -25,16 +26,16 @@ fn main() {
         println!(
             "{:>4} {:>16.2} {:>16.2} {:>12.1} {:>12.4}",
             p.n,
-            p.backtracking_secs * 1e6,
+            p.search_secs * 1e6,
             p.unsafe_quadratic_secs * 1e6,
-            p.backtracking_checks,
+            p.search_checks,
             p.backtracks
         );
     }
     let order = empirical_order(
         &points
             .iter()
-            .map(|p| (p.n as f64, p.backtracking_checks))
+            .map(|p| (p.n as f64, p.search_checks))
             .collect::<Vec<_>>(),
     );
     println!(

@@ -4,7 +4,7 @@
 
 use csa_experiments::{
     run_census, run_fig2, run_fig4, run_fig5, run_table1, CensusConfig, Fig2Config, Fig4Config,
-    Fig5Config, PeriodModel, Table1Config,
+    Fig5Config, PeriodModel, SearchConfig, Table1Config,
 };
 
 #[test]
@@ -14,6 +14,7 @@ fn table1_invalid_solutions_are_rare() {
         benchmarks: 400,
         seed: 2017,
         profile: PeriodModel::GridSnapped,
+        search: SearchConfig::default(),
     });
     for r in &rows {
         // The paper's headline: anomalies are extremely rare, so the
@@ -26,7 +27,7 @@ fn table1_invalid_solutions_are_rare() {
             r.invalid_pct()
         );
         // Most benchmarks are solvable at all.
-        assert!(r.backtracking_solved * 10 >= r.benchmarks * 5);
+        assert!(r.solved * 10 >= r.benchmarks * 5);
     }
 }
 
@@ -66,17 +67,18 @@ fn fig5_runtimes_grow_polynomially_and_stay_close() {
         benchmarks: 60,
         seed: 5,
         profile: PeriodModel::GridSnapped,
+        search: SearchConfig::default(),
     });
     // Check-count growth is far from exponential.
     for p in &pts {
         let n = p.n as f64;
-        assert!(p.backtracking_checks <= 25.0 * n * n);
+        assert!(p.search_checks <= 25.0 * n * n);
         assert!(p.unsafe_quadratic_checks <= 2.0 * n + 1.0);
     }
     // The two algorithms remain within two orders of magnitude of each
     // other (the paper's figure shows them close).
     for p in &pts {
-        let ratio = p.backtracking_secs / p.unsafe_quadratic_secs.max(1e-12);
+        let ratio = p.search_secs / p.unsafe_quadratic_secs.max(1e-12);
         assert!(ratio < 100.0, "n = {}: ratio {ratio}", p.n);
     }
 }
@@ -88,6 +90,7 @@ fn census_confirms_rarity_and_decreasing_anomaly_trend() {
         benchmarks: 400,
         seed: 77,
         profile: PeriodModel::GridSnapped,
+        search: SearchConfig::default(),
     });
     for r in &rows {
         // Anomaly rates are tiny fractions of solvable benchmarks.

@@ -8,7 +8,7 @@
 //! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
 //!   `prop_filter`, and `prop_filter_map` combinators;
 //! * range strategies (`0.5..2.0`, `1u64..30`, ...), tuple strategies,
-//!   [`strategy::Just`], [`any`], and [`collection::vec`];
+//!   [`strategy::Just`], [`strategy::any`], and [`collection::vec()`];
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`
 //!   header), plus [`prop_assert!`] and [`prop_assert_eq!`].
 //!   (`prop_assume!` is deliberately omitted: it cannot be implemented
@@ -240,7 +240,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Conversion from the `size` argument of [`vec`] to length bounds.
+    /// Conversion from the `size` argument of [`vec()`] to length bounds.
     pub trait IntoSizeRange {
         /// Inclusive `(min, max)` length bounds.
         fn bounds(&self) -> (usize, usize);
@@ -266,7 +266,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,
