@@ -16,6 +16,11 @@
 //! * the jitter-margin analysis of Fig. 4: [`jitter_margin`],
 //!   [`stability_curve`], [`delay_margin`], and the paper's Eq. 5 linear
 //!   bound [`StabilityFit`];
+//! * the batched, warm-started kernel pipeline (DESIGN.md §10):
+//!   [`MarginScratch`], [`KernelMode`], [`StabilityCurveBatch`],
+//!   [`LqgDesigner`], the bit-frozen [`jitter_margin_exact`] /
+//!   [`stability_curve_exact`] entry points, and the retained
+//!   [`mod@reference`] implementations they are pinned against;
 //! * the benchmark plant pool of §V: [`plants`].
 //!
 //! # Example: the paper's Fig. 4 in five lines
@@ -44,6 +49,7 @@ mod freq;
 mod lqg;
 mod margin;
 pub mod plants;
+pub mod reference;
 mod response;
 mod ss;
 
@@ -52,10 +58,12 @@ pub use cost::{cost_curve, lqg_cost, non_monotone_points};
 pub use error::{Error, Result};
 pub use freq::{continuous_response, discrete_response};
 pub use lqg::{
-    design_lqg, input_sensitivity_loop, sample_cost, LqgController, LqgWeights, SampledCost,
+    design_lqg, input_sensitivity_loop, sample_cost, LqgController, LqgDesigner, LqgWeights,
+    SampledCost,
 };
 pub use margin::{
-    delay_margin, jitter_margin, stability_curve, CurvePoint, StabilityCurve, StabilityFit,
+    delay_margin, jitter_margin, jitter_margin_exact, stability_curve, stability_curve_exact,
+    CurvePoint, KernelMode, MarginScratch, StabilityCurve, StabilityCurveBatch, StabilityFit,
 };
 pub use response::{disturbance_impulse_response, simulate, step_response, tail_peak};
 pub use ss::{DiscreteSs, StateSpace, TransferFunction};

@@ -18,7 +18,7 @@
 use crate::c2d::c2d_zoh_delayed;
 use crate::error::{Error, Result};
 use crate::ss::{DiscreteSs, StateSpace};
-use csa_linalg::{noise_covariance, solve_dare, van_loan_gramian, Mat, StageCost};
+use csa_linalg::{noise_covariance, van_loan_gramian, DareScratch, DareSolution, Mat, StageCost};
 
 /// Continuous-time design weights for sampled LQG synthesis.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,72 +157,150 @@ pub fn design_lqg(
     h: f64,
     tau: f64,
 ) -> Result<LqgController> {
-    let n = plant.order();
-    let m = plant.inputs();
-    let p = plant.outputs();
-    if weights.r1.shape() != (n, n) || weights.r2.shape() != (p, p) {
-        return Err(Error::UnsupportedModel(
-            "noise dimensions must match the plant",
-        ));
+    LqgDesigner::cold().design(plant, weights, h, tau)
+}
+
+/// Re-entrant LQG synthesis engine with optional DARE warm starting (the
+/// batched pipeline of DESIGN.md §10).
+///
+/// A cold designer ([`LqgDesigner::cold`]) routes both Riccati equations
+/// through [`DareScratch::solve`], which is bit-identical to the one-shot
+/// [`csa_linalg::solve_dare`] — [`design_lqg`] is a thin wrapper over it. A
+/// warm-started designer ([`LqgDesigner::warm_started`]) seeds each DARE
+/// with the previous successful design's solution via
+/// [`DareScratch::solve_warm`]; when sweeping a period grid the
+/// neighbouring solutions are excellent seeds and the Kleinman iteration
+/// converges in a couple of Newton steps. The warm path inherits
+/// `solve_warm`'s contract: the gain is always verified stabilizing, any
+/// unusable seed falls back to the bit-exact cold solve, and successful
+/// warm solutions agree with cold ones to ~1e-9 relative.
+#[derive(Debug)]
+pub struct LqgDesigner {
+    ctrl_dare: DareScratch,
+    filt_dare: DareScratch,
+    warm: bool,
+    prev_ctrl: Option<DareSolution>,
+    prev_filt: Option<DareSolution>,
+}
+
+impl LqgDesigner {
+    /// A designer whose every output is bit-identical to [`design_lqg`].
+    pub fn cold() -> Self {
+        LqgDesigner {
+            ctrl_dare: DareScratch::new(),
+            filt_dare: DareScratch::new(),
+            warm: false,
+            prev_ctrl: None,
+            prev_filt: None,
+        }
     }
 
-    let plant_d = c2d_zoh_delayed(plant, h, tau)?;
-    let na = plant_d.order();
-    let cost_d = sample_cost(plant, weights, h)?;
-
-    // Stage cost on the augmented state: charge the plant block with Q1d,
-    // the decided input with Q2d, and keep the exact cross term between
-    // the plant state and the decided input. The delay registers carry
-    // already-paid-for inputs and enter with zero weight (see DESIGN.md).
-    let mut q_aug = Mat::zeros(na, na);
-    q_aug.set_block(0, 0, &cost_d.q1);
-    let mut n_aug = Mat::zeros(na, m);
-    n_aug.set_block(0, 0, &cost_d.q12);
-    // Regularize the delay registers minutely so the DARE stays
-    // detectable through the shift chain.
-    for i in n..na {
-        q_aug[(i, i)] += 1e-12;
+    /// A designer that warm-starts each DARE from the previous design.
+    pub fn warm_started() -> Self {
+        LqgDesigner {
+            warm: true,
+            ..LqgDesigner::cold()
+        }
     }
-    let stage = StageCost::with_cross(q_aug, n_aug, cost_d.q2.clone());
-    let lqr = solve_dare(plant_d.a(), plant_d.b(), &stage).map_err(map_dare_err)?;
 
-    // Stationary Kalman predictor on the plant block (delay registers are
-    // known exactly).
-    let phi = plant_d.a().block(0, 0, n, n);
-    let c = plant.c().clone();
-    let r1d = noise_covariance(plant.a(), &weights.r1, h)?;
-    // Regularize: guarantee the dual pair is stabilizable even if R1c is
-    // rank deficient along undisturbed directions.
-    let r1d_reg = &r1d + &Mat::identity(n).scale(1e-12 * r1d.max_abs().max(1e-12));
-    let dual = solve_dare(
-        &phi.transpose(),
-        &c.transpose(),
-        &StageCost::new(r1d_reg, weights.r2.clone()),
-    )
-    .map_err(map_dare_err)?;
-    let kf = dual.k.transpose(); // Kf = Phi P C' (C P C' + R2)^{-1}
+    /// Drops the warm-start seeds (e.g. when switching plants).
+    pub fn reset(&mut self) {
+        self.prev_ctrl = None;
+        self.prev_filt = None;
+    }
 
-    // Controller realization on the augmented state:
-    // xi+ = (A - B K - Kf_aug C_aug) xi + Kf_aug y,  u = -K xi.
-    let mut kf_aug = Mat::zeros(na, p);
-    kf_aug.set_block(0, 0, &kf);
-    let a_c = &(plant_d.a() - &(plant_d.b() * &lqr.k)) - &(&kf_aug * plant_d.c());
-    let c_c = -(&lqr.k);
-    let controller = DiscreteSs::new(a_c, kf_aug, c_c, Mat::zeros(m, p), h)?;
+    /// Designs a sampled LQG controller; semantics of [`design_lqg`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`design_lqg`].
+    pub fn design(
+        &mut self,
+        plant: &StateSpace,
+        weights: &LqgWeights,
+        h: f64,
+        tau: f64,
+    ) -> Result<LqgController> {
+        let n = plant.order();
+        let m = plant.inputs();
+        let p = plant.outputs();
+        if weights.r1.shape() != (n, n) || weights.r2.shape() != (p, p) {
+            return Err(Error::UnsupportedModel(
+                "noise dimensions must match the plant",
+            ));
+        }
 
-    Ok(LqgController {
-        controller,
-        feedback_gain: lqr.k,
-        kalman_gain: kf,
-        cost_to_go: lqr.s,
-        plant_d,
-        noise_d: r1d,
-        cost_d,
-    })
+        let plant_d = c2d_zoh_delayed(plant, h, tau)?;
+        let na = plant_d.order();
+        let cost_d = sample_cost(plant, weights, h)?;
+
+        // Stage cost on the augmented state: charge the plant block with Q1d,
+        // the decided input with Q2d, and keep the exact cross term between
+        // the plant state and the decided input. The delay registers carry
+        // already-paid-for inputs and enter with zero weight (see DESIGN.md).
+        let mut q_aug = Mat::zeros(na, na);
+        q_aug.set_block(0, 0, &cost_d.q1);
+        let mut n_aug = Mat::zeros(na, m);
+        n_aug.set_block(0, 0, &cost_d.q12);
+        // Regularize the delay registers minutely so the DARE stays
+        // detectable through the shift chain.
+        for i in n..na {
+            q_aug[(i, i)] += 1e-12;
+        }
+        let stage = StageCost::with_cross(q_aug, n_aug, cost_d.q2.clone());
+        let lqr = match (self.warm, &self.prev_ctrl) {
+            (true, Some(seed)) => self
+                .ctrl_dare
+                .solve_warm(plant_d.a(), plant_d.b(), &stage, seed),
+            _ => self.ctrl_dare.solve(plant_d.a(), plant_d.b(), &stage),
+        }
+        .map_err(map_dare_err)?;
+
+        // Stationary Kalman predictor on the plant block (delay registers are
+        // known exactly).
+        let phi = plant_d.a().block(0, 0, n, n);
+        let c = plant.c().clone();
+        let r1d = noise_covariance(plant.a(), &weights.r1, h)?;
+        // Regularize: guarantee the dual pair is stabilizable even if R1c is
+        // rank deficient along undisturbed directions.
+        let r1d_reg = &r1d + &Mat::identity(n).scale(1e-12 * r1d.max_abs().max(1e-12));
+        let dual_cost = StageCost::new(r1d_reg, weights.r2.clone());
+        let phi_t = phi.transpose();
+        let c_t = c.transpose();
+        let dual = match (self.warm, &self.prev_filt) {
+            (true, Some(seed)) => self.filt_dare.solve_warm(&phi_t, &c_t, &dual_cost, seed),
+            _ => self.filt_dare.solve(&phi_t, &c_t, &dual_cost),
+        }
+        .map_err(map_dare_err)?;
+        let kf = dual.k.transpose(); // Kf = Phi P C' (C P C' + R2)^{-1}
+
+        if self.warm {
+            self.prev_ctrl = Some(lqr.clone());
+            self.prev_filt = Some(dual.clone());
+        }
+
+        // Controller realization on the augmented state:
+        // xi+ = (A - B K - Kf_aug C_aug) xi + Kf_aug y,  u = -K xi.
+        let mut kf_aug = Mat::zeros(na, p);
+        kf_aug.set_block(0, 0, &kf);
+        let a_c = &(plant_d.a() - &(plant_d.b() * &lqr.k)) - &(&kf_aug * plant_d.c());
+        let c_c = -(&lqr.k);
+        let controller = DiscreteSs::new(a_c, kf_aug, c_c, Mat::zeros(m, p), h)?;
+
+        Ok(LqgController {
+            controller,
+            feedback_gain: lqr.k,
+            kalman_gain: kf,
+            cost_to_go: lqr.s,
+            plant_d,
+            noise_d: r1d,
+            cost_d,
+        })
+    }
 }
 
 /// Maps DARE failures onto the domain error.
-fn map_dare_err(e: csa_linalg::Error) -> Error {
+pub(crate) fn map_dare_err(e: csa_linalg::Error) -> Error {
     match e {
         csa_linalg::Error::NotStable | csa_linalg::Error::NoConvergence { .. } => {
             Error::NotStabilizable

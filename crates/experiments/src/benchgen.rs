@@ -429,7 +429,7 @@ fn refine_margin_tight<R: Rng + ?Sized>(
     let mut scan: Vec<MarginEntry> = (0..MARGIN_TIGHT_SCAN_POINTS)
         .filter_map(|s| {
             let t = (s as f64 + phase) / MARGIN_TIGHT_SCAN_POINTS as f64;
-            interp_v.eval(lo * (hi / lo).powf(t))
+            interp_v.eval(crate::grid::log_period_point(lo, hi, t))
         })
         .collect();
     scan.insert(0, draws[victim].entry);

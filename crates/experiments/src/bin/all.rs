@@ -11,8 +11,8 @@
 use csa_experiments::{
     budget_flag, format_census, format_table1, profile_flag, quick_flag, run_census_with_threads,
     run_fig2_with_threads, run_fig4, run_fig5, run_table1_with_threads, search_flag,
-    task_counts_flag, threads_flag, warm_interpolated_tables, warm_margin_tables, CensusConfig,
-    Fig2Config, Fig4Config, Fig5Config, PeriodModel, SearchConfig, Table1Config,
+    task_counts_flag, threads_flag, warm_cached_tables, CensusConfig, Fig2Config, Fig4Config,
+    Fig5Config, SearchConfig, Table1Config,
 };
 
 fn main() {
@@ -28,11 +28,7 @@ fn main() {
         search.mode,
         threads
     );
-    if profile == PeriodModel::GridSnapped {
-        warm_margin_tables(threads);
-    } else {
-        warm_interpolated_tables(threads);
-    }
+    warm_cached_tables(threads);
 
     let fig4 = run_fig4(&if quick {
         Fig4Config::quick()

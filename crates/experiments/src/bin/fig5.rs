@@ -11,8 +11,7 @@
 
 use csa_experiments::{
     budget_flag, csv_file_name, empirical_order, profile_flag, quick_flag, run_fig5, search_flag,
-    task_counts_flag, threads_flag, warm_interpolated_tables, warm_margin_tables, write_csv,
-    Fig5Config, PeriodModel, SearchConfig,
+    task_counts_flag, threads_flag, warm_cached_tables, write_csv, Fig5Config, SearchConfig,
 };
 
 fn main() -> std::io::Result<()> {
@@ -40,11 +39,7 @@ fn main() -> std::io::Result<()> {
             "unbounded".to_string()
         }
     );
-    if profile == PeriodModel::GridSnapped {
-        warm_margin_tables(threads_flag());
-    } else {
-        warm_interpolated_tables(threads_flag());
-    }
+    warm_cached_tables(threads_flag());
     let points = run_fig5(&config);
     println!(
         "{:>4} {:>16} {:>16} {:>12} {:>10} {:>12} {:>10} {:>10}",

@@ -11,8 +11,8 @@
 
 use csa_experiments::{
     budget_flag, csv_file_name, format_table1, profile_flag, quick_flag, run_table1_collecting,
-    search_flag, task_counts_flag, threads_flag, warm_interpolated_tables, warm_margin_tables,
-    write_csv, write_witness_file, PeriodModel, SearchConfig, Table1Config,
+    search_flag, task_counts_flag, threads_flag, warm_cached_tables, write_csv, write_witness_file,
+    SearchConfig, Table1Config,
 };
 
 fn main() -> std::io::Result<()> {
@@ -33,11 +33,7 @@ fn main() -> std::io::Result<()> {
         "table1: {} benchmarks per n over n = {:?} (seed {}, profile {}, search {}, {} worker threads)",
         config.benchmarks, config.task_counts, config.seed, profile, search.mode, threads
     );
-    if profile == PeriodModel::GridSnapped {
-        warm_margin_tables(threads);
-    } else {
-        warm_interpolated_tables(threads);
-    }
+    warm_cached_tables(threads);
     let (rows, witnesses) = run_table1_collecting(&config, threads);
     println!("{}", format_table1(&rows));
     let path = write_csv(

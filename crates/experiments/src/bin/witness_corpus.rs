@@ -14,8 +14,7 @@
 
 use csa_experiments::{
     profile_flag, quick_flag, run_census_collecting, task_counts_flag, threads_flag,
-    warm_interpolated_tables, warm_margin_tables, write_witness_file, CensusConfig, PeriodModel,
-    SearchConfig,
+    warm_cached_tables, write_witness_file, CensusConfig, SearchConfig,
 };
 
 /// Strict `--flag VALUE` / `--flag=VALUE` u64 parser: a present flag
@@ -58,11 +57,7 @@ fn main() -> std::io::Result<()> {
         "witness-corpus: {benchmarks} benchmarks per n over n = {:?} (seed {seed}, profile {profile}, {threads} worker threads)",
         config.task_counts
     );
-    if profile == PeriodModel::GridSnapped {
-        warm_margin_tables(threads);
-    } else {
-        warm_interpolated_tables(threads);
-    }
+    warm_cached_tables(threads);
     let (rows, witnesses) = run_census_collecting(&config, threads);
     for r in &rows {
         eprintln!(

@@ -1,7 +1,9 @@
 //! Fig. 4: jitter-margin stability curves and linear lower bounds for the
 //! DC servo `1000/(s^2 + s)` under sampled LQG control.
 
-use csa_control::{design_lqg, plants, stability_curve, LqgWeights, StabilityCurve, StabilityFit};
+use csa_control::{
+    plants, KernelMode, LqgWeights, StabilityCurve, StabilityCurveBatch, StabilityFit,
+};
 
 /// Configuration for the Fig. 4 experiment.
 #[derive(Debug, Clone)]
@@ -51,14 +53,18 @@ pub struct Fig4Curve {
 pub fn run_fig4(config: &Fig4Config) -> Vec<Fig4Curve> {
     let plant = plants::dc_servo().expect("valid plant");
     let weights = LqgWeights::output_regulation(&plant, 1e-1, 1e-6);
+    // The figure is illustrative, not part of the bit-frozen table
+    // surface, so it runs on the fast kernel class: warm-started LQG
+    // designs across the period family plus the Hessenberg-sweep margin
+    // kernel (tolerance contract in DESIGN.md §10).
+    let mut batch = StabilityCurveBatch::new(KernelMode::Fast);
     config
         .periods
         .iter()
         .map(|&h| {
-            let lqg = design_lqg(&plant, &weights, h, 0.0).expect("servo LQG must design");
-            let curve = stability_curve(&plant, &lqg.controller, h, config.points)
-                .expect("stability curve must compute");
-            let fit = StabilityFit::from_curve(&curve);
+            let (curve, fit) = batch
+                .curve_at(&plant, &weights, h, 0.0, config.points)
+                .expect("servo stability curve must compute");
             Fig4Curve {
                 period: h,
                 curve,

@@ -1,0 +1,100 @@
+//! Shared log-period grid construction.
+//!
+//! Every margin-table grid in this crate — the snapped legacy grid, the
+//! dense interpolation grid, and the scan/sampling points drawn between
+//! knots — is built from the same geometric interpolation formula. It
+//! used to be copy-pasted at each site; it now lives here so the
+//! persistent margin-table artifact (see [`crate::margin_cache`]) has a
+//! single source of truth for its grid cache key, and so a future grid
+//! change cannot silently desynchronize the sites.
+//!
+//! The formula is **bit-frozen**: `lo * (hi / lo).powf(t)`, evaluated in
+//! exactly this operation order. Seeded experiment outputs (the witness
+//! corpus, the `GridSnapped` benchmark profile) depend on these bits.
+
+/// One point of the geometric sweep from `lo` to `hi` at interpolation
+/// parameter `t` (0 maps to `lo` exactly; 1 maps to `lo * (hi / lo)`,
+/// which may differ from `hi` by an ulp).
+///
+/// # Examples
+///
+/// ```
+/// let p = csa_experiments::log_period_point(0.001, 0.1, 0.5);
+/// assert_eq!(p.to_bits(), (0.001f64 * (0.1f64 / 0.001f64).powf(0.5)).to_bits());
+/// ```
+pub fn log_period_point(lo: f64, hi: f64, t: f64) -> f64 {
+    lo * (hi / lo).powf(t)
+}
+
+/// The `points`-knot geometric grid over `[lo, hi]`: knot `k` sits at
+/// interpolation parameter `k / (points - 1)`.
+///
+/// # Panics
+///
+/// Panics when `points < 2` (a geometric grid needs both endpoints).
+///
+/// # Examples
+///
+/// ```
+/// let g = csa_experiments::log_period_grid(0.002, 0.012, 10);
+/// assert_eq!(g.len(), 10);
+/// assert_eq!(g[0], 0.002);
+/// for w in g.windows(2) {
+///     assert!(w[0] < w[1]);
+/// }
+/// ```
+pub fn log_period_grid(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "geometric grid needs at least two points");
+    (0..points)
+        .map(|k| log_period_point(lo, hi, k as f64 / (points - 1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_bit_identical_to_the_inline_formula() {
+        // The exact expression the margin tables historically inlined;
+        // the helper must reproduce it bit-for-bit or the snapped grid
+        // (and hence the witness corpus) would drift.
+        let (lo, hi) = (0.002, 0.012);
+        let n = 10usize;
+        let grid = log_period_grid(lo, hi, n);
+        for (k, &g) in grid.iter().enumerate() {
+            let t = k as f64 / (n - 1) as f64;
+            let inline = lo * (hi / lo).powf(t);
+            assert_eq!(g.to_bits(), inline.to_bits(), "knot {k}");
+        }
+    }
+
+    #[test]
+    fn grid_starts_at_lo_and_is_strictly_increasing() {
+        for &(lo, hi, n) in &[(0.001, 0.2, 14), (0.005, 0.05, 10), (0.01, 0.1, 2)] {
+            let grid = log_period_grid(lo, hi, n);
+            assert_eq!(grid.len(), n);
+            assert_eq!(grid[0].to_bits(), lo.to_bits());
+            assert!((grid[n - 1] - hi).abs() <= 1e-12 * hi);
+            for w in grid.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn point_matches_grid_knots() {
+        let (lo, hi) = (0.005, 0.04);
+        let grid = log_period_grid(lo, hi, 14);
+        for (k, &g) in grid.iter().enumerate() {
+            let p = log_period_point(lo, hi, k as f64 / 13.0);
+            assert_eq!(p.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_grid_panics() {
+        let _ = log_period_grid(0.001, 0.1, 1);
+    }
+}

@@ -72,6 +72,8 @@ mod census;
 mod fig2;
 mod fig4;
 mod fig5;
+mod grid;
+mod margin_cache;
 mod margins;
 mod parallel;
 mod period_opt;
@@ -88,6 +90,11 @@ pub use census::{
 pub use fig2::{pathological_cost, run_fig2, run_fig2_with_threads, CostCurve, Fig2Config};
 pub use fig4::{run_fig4, Fig4Config, Fig4Curve};
 pub use fig5::{empirical_order, run_fig5, Fig5Config, Fig5Point};
+pub use grid::{log_period_grid, log_period_point};
+pub use margin_cache::{
+    load_margin_artifact, margin_artifact_path, pool_fingerprint, save_margin_artifact,
+    warm_cached_tables, StaleReason, MARGIN_ARTIFACT_TAG,
+};
 pub use margins::{
     fresh_margin_fit, interpolated_tables, margin_tables, warm_interpolated_tables,
     warm_margin_tables, InterpSegmentRun, MarginEntry, MarginInterp, PlantMargins,

@@ -17,22 +17,23 @@
 //!   at *any* stabilizable period. The `Continuous`, `HarmonicStress`
 //!   and `MarginTight` profiles draw from it (see DESIGN.md §3).
 
+use crate::grid::{log_period_grid, log_period_point};
 use crate::parallel::parallel_map;
-use csa_control::{design_lqg, plants, stability_curve, StabilityFit};
+use csa_control::{plants, KernelMode, StabilityCurveBatch};
 use rand::Rng;
 use std::sync::OnceLock;
 
 /// Number of grid periods per plant (legacy snapped grid).
-const GRID_POINTS: usize = 10;
+pub(crate) const GRID_POINTS: usize = 10;
 /// Number of raw grid knots per plant (continuous-period subsystem).
-const DENSE_GRID_POINTS: usize = 14;
+pub(crate) const DENSE_GRID_POINTS: usize = 14;
 /// Number of latency samples per stability curve.
-const CURVE_POINTS: usize = 15;
+pub(crate) const CURVE_POINTS: usize = 15;
 /// Extra multiplicative safety applied on top of the measured
 /// conservatism factors: interpolated `b` is shrunk and `a` inflated by
 /// this fraction beyond what the held-out midpoint validation demands,
 /// covering wiggle between validation points.
-const INTERP_SAFETY: f64 = 0.05;
+pub(crate) const INTERP_SAFETY: f64 = 0.05;
 
 /// Stability coefficients of one plant at one sampling period.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,70 +125,92 @@ pub fn warm_margin_tables(threads: usize) -> &'static [PlantMargins] {
     TABLES.get_or_init(|| compute_tables(threads))
 }
 
-/// One margin-table cell: the fitted `(a, b)` pair of `plant` at the
-/// period `h`, or `None` when no stabilizing design exists.
-fn compute_cell(bp: &plants::BenchmarkPlant, h: f64) -> Option<MarginEntry> {
-    match design_lqg(&bp.plant, &bp.weights, h, 0.0) {
-        Ok(lqg) => match stability_curve(&bp.plant, &lqg.controller, h, CURVE_POINTS) {
-            Ok(curve) if curve.delay_margin() > 0.0 => {
-                let fit = StabilityFit::from_curve(&curve);
-                Some(MarginEntry {
-                    period: h,
-                    a: fit.a,
-                    b: fit.b,
-                })
-            }
-            _ => None,
-        },
-        // Pathological or unstabilizable period: skip.
-        Err(_) => None,
-    }
+/// The snapped-grid cache if some call already warmed it (used by the
+/// artifact layer to avoid recomputation races).
+pub(crate) fn margin_tables_if_warm() -> Option<&'static [PlantMargins]> {
+    TABLES.get().map(Vec::as_slice)
 }
 
-fn compute_tables(threads: usize) -> Vec<PlantMargins> {
+/// The interpolant cache if some call already warmed it.
+pub(crate) fn interp_tables_if_warm() -> Option<&'static [MarginInterp]> {
+    INTERP.get().map(Vec::as_slice)
+}
+
+/// Seeds the snapped-grid cache from already-materialized tables (the
+/// artifact load path); falls back to the existing cache when warm.
+pub(crate) fn seed_margin_tables(tables: Vec<PlantMargins>) -> &'static [PlantMargins] {
+    TABLES.get_or_init(|| tables)
+}
+
+/// Seeds the interpolant cache from already-materialized tables.
+pub(crate) fn seed_interp_tables(tables: Vec<MarginInterp>) -> &'static [MarginInterp] {
+    INTERP.get_or_init(|| tables)
+}
+
+/// One margin-table cell evaluated through a batched evaluator: the
+/// fitted `(a, b)` pair of `plant` at the period `h`, or `None` when no
+/// stabilizing design exists. All table construction goes through the
+/// exact kernel class, whose cells are bit-identical to the retained
+/// one-shot pipeline (pinned by `csa-control`'s differential suite), so
+/// the tables are unchanged by the batching.
+fn compute_cell_with(
+    batch: &mut StabilityCurveBatch,
+    bp: &plants::BenchmarkPlant,
+    h: f64,
+) -> Option<MarginEntry> {
+    batch
+        .margin_cell(&bp.plant, &bp.weights, h, 0.0, CURVE_POINTS)
+        .map(|(_, fit)| MarginEntry {
+            period: h,
+            a: fit.a,
+            b: fit.b,
+        })
+}
+
+pub(crate) fn compute_tables(threads: usize) -> Vec<PlantMargins> {
     let pool = plants::benchmark_pool().expect("benchmark pool must construct");
-    // Deduplicated snapped grid per plant, flattened into one job list
-    // over all (plant, period) cells so workers stay busy regardless of
-    // how the expensive cells cluster.
-    let mut cells: Vec<(usize, f64)> = Vec::new();
-    for (p, bp) in pool.iter().enumerate() {
-        let (lo, hi) = bp.period_range;
-        let mut seen = [false; PERIOD_SERIES.len()];
-        for k in 0..GRID_POINTS {
-            let t = k as f64 / (GRID_POINTS - 1) as f64;
-            let h_raw = lo * (hi / lo).powf(t);
-            // Snap to the 1-2-5 engineering series: real deployments
-            // use round sampling periods, and the near-harmonic
-            // relations among them are precisely what lets
-            // response-time fixed-point cascades — and hence the
-            // paper's anomalies — occur at all. Dedup by series
-            // *index*: the former float key `(h * 1e7) as u64` could
-            // alias distinct periods once the grid densifies.
-            let idx = snap_index(h_raw);
-            if seen[idx] {
-                continue;
-            }
-            seen[idx] = true;
-            cells.push((p, PERIOD_SERIES[idx]));
-        }
-    }
-    let results = parallel_map(cells.len(), threads, |c| {
-        let (p, h) = cells[c];
-        compute_cell(&pool[p], h)
-    });
-    // Reassemble per plant, in grid order.
-    let mut tables: Vec<PlantMargins> = pool
+    // Deduplicated snapped grid per plant. Snap to the 1-2-5 engineering
+    // series: real deployments use round sampling periods, and the
+    // near-harmonic relations among them are precisely what lets
+    // response-time fixed-point cascades — and hence the paper's
+    // anomalies — occur at all. Dedup by series *index*: the former
+    // float key `(h * 1e7) as u64` could alias distinct periods once
+    // the grid densifies.
+    let grids: Vec<Vec<f64>> = pool
         .iter()
-        .map(|bp| PlantMargins {
-            name: bp.name,
-            entries: Vec::with_capacity(GRID_POINTS),
+        .map(|bp| {
+            let (lo, hi) = bp.period_range;
+            let mut seen = [false; PERIOD_SERIES.len()];
+            let mut grid = Vec::with_capacity(GRID_POINTS);
+            for h_raw in log_period_grid(lo, hi, GRID_POINTS) {
+                let idx = snap_index(h_raw);
+                if !seen[idx] {
+                    seen[idx] = true;
+                    grid.push(PERIOD_SERIES[idx]);
+                }
+            }
+            grid
         })
         .collect();
-    for (&(p, _), entry) in cells.iter().zip(results) {
-        if let Some(entry) = entry {
-            tables[p].entries.push(entry);
-        }
-    }
+    // One job per plant: a batched evaluator walks the plant's whole
+    // grid so kernel workspaces are reused across cells. Cells stay
+    // independent bit-identical computations, so the tables are the
+    // same at any thread count.
+    let entries = parallel_map(pool.len(), threads, |p| {
+        let mut batch = StabilityCurveBatch::new(KernelMode::Exact);
+        grids[p]
+            .iter()
+            .filter_map(|&h| compute_cell_with(&mut batch, &pool[p], h))
+            .collect::<Vec<_>>()
+    });
+    let tables: Vec<PlantMargins> = pool
+        .iter()
+        .zip(entries)
+        .map(|(bp, entries)| PlantMargins {
+            name: bp.name,
+            entries,
+        })
+        .collect();
     for (bp, table) in pool.iter().zip(&tables) {
         assert!(
             !table.entries.is_empty(),
@@ -217,25 +240,25 @@ pub struct InterpSegmentRun {
     /// First and last knot period in seconds (exact, not re-derived
     /// from `exp(x)` — the round trip can be off by an ulp, which would
     /// make the run's own endpoints fall outside it).
-    p_lo: f64,
+    pub(crate) p_lo: f64,
     /// See `p_lo`.
-    p_hi: f64,
+    pub(crate) p_hi: f64,
     /// Knot abscissae: `ln(period)` in increasing order (>= 2 knots).
-    x: Vec<f64>,
+    pub(crate) x: Vec<f64>,
     /// Knot jitter weights `a`.
-    a: Vec<f64>,
+    pub(crate) a: Vec<f64>,
     /// Knot delay budgets `b` (seconds).
-    b: Vec<f64>,
+    pub(crate) b: Vec<f64>,
     /// PCHIP tangents of `a` at the knots.
-    ta: Vec<f64>,
+    pub(crate) ta: Vec<f64>,
     /// PCHIP tangents of `b` at the knots.
-    tb: Vec<f64>,
+    pub(crate) tb: Vec<f64>,
     /// Per-segment multiplicative shrink applied to interpolated `b`
     /// (<= 1; `len == x.len() - 1`).
-    shrink_b: Vec<f64>,
+    pub(crate) shrink_b: Vec<f64>,
     /// Per-segment multiplicative inflation applied to interpolated `a`
     /// (>= 1; `len == x.len() - 1`).
-    inflate_a: Vec<f64>,
+    pub(crate) inflate_a: Vec<f64>,
 }
 
 impl InterpSegmentRun {
@@ -284,7 +307,8 @@ impl InterpSegmentRun {
 /// Continuous-period margin interpolant of one benchmark plant: monotone
 /// PCHIP interpolation of the dense-grid `(a, b)` coefficients in
 /// log-period, validated for conservatism against freshly computed
-/// [`StabilityFit`]s on held-out midpoint periods.
+/// [`StabilityFit`](csa_control::StabilityFit)s on held-out midpoint
+/// periods.
 ///
 /// Unstabilizable stretches of the period range (and segments whose
 /// held-out midpoint fails to stabilize) are holes: [`MarginInterp::eval`]
@@ -295,7 +319,7 @@ pub struct MarginInterp {
     /// Plant name (matches `csa_control::plants::benchmark_pool`).
     pub name: &'static str,
     /// Contiguous interpolation runs, ordered by increasing period.
-    runs: Vec<InterpSegmentRun>,
+    pub(crate) runs: Vec<InterpSegmentRun>,
 }
 
 impl MarginInterp {
@@ -361,7 +385,7 @@ impl MarginInterp {
         // sequential width subtraction above (and `powf` itself) can
         // land an ulp outside the run, which `eval` would reject.
         let t = (pick / widths[idx]).clamp(0.0, 1.0);
-        (lo * (hi / lo).powf(t)).clamp(lo, hi)
+        log_period_point(lo, hi, t).clamp(lo, hi)
     }
 }
 
@@ -423,46 +447,33 @@ pub fn warm_interpolated_tables(threads: usize) -> &'static [MarginInterp] {
     INTERP.get_or_init(|| compute_interp_tables(threads))
 }
 
-fn compute_interp_tables(threads: usize) -> Vec<MarginInterp> {
+pub(crate) fn compute_interp_tables(threads: usize) -> Vec<MarginInterp> {
     let pool = plants::benchmark_pool().expect("benchmark pool must construct");
     // Pass 1: dense raw grid (no snapping — the whole point is to cover
-    // periods between the engineering-series members).
-    let mut cells: Vec<(usize, f64)> = Vec::new();
-    for (p, bp) in pool.iter().enumerate() {
-        let (lo, hi) = bp.period_range;
-        for k in 0..DENSE_GRID_POINTS {
-            let t = k as f64 / (DENSE_GRID_POINTS - 1) as f64;
-            cells.push((p, lo * (hi / lo).powf(t)));
-        }
-    }
-    let knots = parallel_map(cells.len(), threads, |c| {
-        let (p, h) = cells[c];
-        compute_cell(&pool[p], h)
+    // periods between the engineering-series members), one batched
+    // evaluator walk per plant.
+    let knots = parallel_map(pool.len(), threads, |p| {
+        let (lo, hi) = pool[p].period_range;
+        let mut batch = StabilityCurveBatch::new(KernelMode::Exact);
+        log_period_grid(lo, hi, DENSE_GRID_POINTS)
+            .into_iter()
+            .map(|h| compute_cell_with(&mut batch, &pool[p], h))
+            .collect::<Vec<_>>()
     });
-    let mut per_plant: Vec<Vec<MarginEntry>> = vec![Vec::new(); pool.len()];
-    let mut runs_raw: Vec<Vec<Vec<MarginEntry>>> = vec![Vec::new(); pool.len()];
-    for (&(p, _), entry) in cells.iter().zip(&knots) {
-        per_plant[p].push(match entry {
-            Some(e) => *e,
-            None => MarginEntry {
-                period: f64::NAN,
-                a: f64::NAN,
-                b: f64::NAN,
-            },
-        });
-    }
     // Split each plant's dense grid into contiguous stabilizable runs.
-    for (p, entries) in per_plant.iter().enumerate() {
+    let mut runs_raw: Vec<Vec<Vec<MarginEntry>>> = vec![Vec::new(); pool.len()];
+    for (p, entries) in knots.iter().enumerate() {
         let mut current: Vec<MarginEntry> = Vec::new();
         for e in entries {
-            if e.period.is_nan() {
-                if current.len() >= 2 {
-                    runs_raw[p].push(std::mem::take(&mut current));
-                } else {
-                    current.clear();
+            match e {
+                Some(e) => current.push(*e),
+                None => {
+                    if current.len() >= 2 {
+                        runs_raw[p].push(std::mem::take(&mut current));
+                    } else {
+                        current.clear();
+                    }
                 }
-            } else {
-                current.push(*e);
             }
         }
         if current.len() >= 2 {
@@ -472,17 +483,23 @@ fn compute_interp_tables(threads: usize) -> Vec<MarginInterp> {
     // Pass 2: held-out validation cells — the geometric midpoint of every
     // knot segment. A midpoint that fails to stabilize splits its run; a
     // stabilizing midpoint contributes to the run's conservatism factors.
-    let mut mid_cells: Vec<(usize, usize, usize, f64)> = Vec::new(); // (plant, run, seg, h)
-    for (p, runs) in runs_raw.iter().enumerate() {
-        for (r, run) in runs.iter().enumerate() {
-            for s in 0..run.len() - 1 {
-                mid_cells.push((p, r, s, (run[s].period * run[s + 1].period).sqrt()));
-            }
-        }
-    }
-    let mid_fits = parallel_map(mid_cells.len(), threads, |c| {
-        let (p, _, _, h) = mid_cells[c];
-        compute_cell(&pool[p], h)
+    // Again one batched walk per plant, midpoints in (run, segment) order.
+    let mids_by_plant: Vec<Vec<f64>> = runs_raw
+        .iter()
+        .map(|runs| {
+            runs.iter()
+                .flat_map(|run| {
+                    (0..run.len() - 1).map(|s| (run[s].period * run[s + 1].period).sqrt())
+                })
+                .collect()
+        })
+        .collect();
+    let mid_fits = parallel_map(pool.len(), threads, |p| {
+        let mut batch = StabilityCurveBatch::new(KernelMode::Exact);
+        mids_by_plant[p]
+            .iter()
+            .map(|&h| compute_cell_with(&mut batch, &pool[p], h))
+            .collect::<Vec<_>>()
     });
     let mut tables: Vec<MarginInterp> = pool
         .iter()
@@ -492,17 +509,14 @@ fn compute_interp_tables(threads: usize) -> Vec<MarginInterp> {
         })
         .collect();
     for (p, runs) in runs_raw.iter().enumerate() {
-        for (r, run) in runs.iter().enumerate() {
+        // Midpoint fits come back in the same flat (run, segment) order
+        // they were enqueued in above.
+        let mut next_fit = mid_fits[p].iter();
+        for run in runs {
             // The fresh midpoint fit of each knot segment, or `None`
             // where the midpoint fails to stabilize (splits the run).
             let seg_fit: Vec<Option<MarginEntry>> = (0..run.len() - 1)
-                .map(|s| {
-                    mid_cells
-                        .iter()
-                        .zip(&mid_fits)
-                        .find(|(&(cp, cr, cs, _), _)| cp == p && cr == r && cs == s)
-                        .and_then(|(_, fit)| *fit)
-                })
+                .map(|_| *next_fit.next().expect("one midpoint fit per segment"))
                 .collect();
             let mut start = 0;
             for s in 0..=seg_fit.len() {
@@ -568,9 +582,10 @@ fn build_run(span: &[MarginEntry], seg_fits: &[MarginEntry]) -> InterpSegmentRun
 /// path the interpolant exists to avoid).
 pub fn fresh_margin_fit(plant: &str, h: f64) -> Option<MarginEntry> {
     let pool = plants::benchmark_pool().expect("benchmark pool must construct");
+    let mut batch = StabilityCurveBatch::new(KernelMode::Exact);
     pool.iter()
         .find(|bp| bp.name == plant)
-        .and_then(|bp| compute_cell(bp, h))
+        .and_then(|bp| compute_cell_with(&mut batch, bp, h))
 }
 
 #[cfg(test)]

@@ -63,6 +63,30 @@ impl CMat {
         m
     }
 
+    /// Resizes to `rows x cols` in place, reusing the allocation, and fills
+    /// the matrix with complex zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Cplx::ZERO);
+    }
+
+    /// Copies the real matrix `src` into `self` (imaginary parts zero),
+    /// resizing in place as needed; bit-identical to [`CMat::from_real`].
+    pub fn copy_from_real(&mut self, src: &Mat) {
+        self.rows = src.rows();
+        self.cols = src.cols();
+        self.data.clear();
+        self.data
+            .extend(src.as_slice().iter().map(|&x| Cplx::from_re(x)));
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -20,15 +20,47 @@ use crate::mat::Mat;
 /// Panics if `a` is not square.
 pub fn hessenberg(a: &Mat) -> Mat {
     assert!(a.is_square(), "hessenberg requires a square matrix");
-    let n = a.rows();
     let mut h = a.clone();
+    let mut v = Vec::new();
+    hessenberg_in(&mut h, &mut v, None);
+    h
+}
+
+/// Reduces `a` to upper Hessenberg form `H` and returns `(H, Q)` with
+/// `A = Q H Q^T` and `Q` orthogonal (the accumulated Householder
+/// similarity).
+///
+/// `H` is bit-identical to [`hessenberg`]`(a)`: the reduction performs the
+/// same operation sequence and only additionally accumulates `Q`. Used by
+/// the fast frequency-response sweep, which reduces the loop matrix once
+/// and then solves Hessenberg systems at every frequency point.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn hessenberg_with_q(a: &Mat) -> (Mat, Mat) {
+    assert!(a.is_square(), "hessenberg requires a square matrix");
+    let mut h = a.clone();
+    let mut q = Mat::identity(a.rows());
+    let mut v = Vec::new();
+    hessenberg_in(&mut h, &mut v, Some(&mut q));
+    (h, q)
+}
+
+/// In-place Hessenberg reduction of `h`, reusing the Householder-vector
+/// buffer `v`; optionally accumulates the orthogonal similarity into `q`
+/// (which must be the identity on entry). The operations applied to `h` are
+/// identical with and without accumulation.
+fn hessenberg_in(h: &mut Mat, v: &mut Vec<f64>, mut q: Option<&mut Mat>) {
+    let n = h.rows();
     if n < 3 {
-        return h;
+        return;
     }
     for k in 0..(n - 2) {
         // Householder vector annihilating h[k+2.., k].
         let m = n - k - 1; // length of the column segment below the diagonal
-        let mut v: Vec<f64> = (0..m).map(|i| h[(k + 1 + i, k)]).collect();
+        v.clear();
+        v.extend((0..m).map(|i| h[(k + 1 + i, k)]));
         let norm_x = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         if norm_x <= f64::EPSILON * h.max_abs() {
             continue;
@@ -39,7 +71,7 @@ pub fn hessenberg(a: &Mat) -> Mat {
         if vnorm == 0.0 {
             continue;
         }
-        for x in &mut v {
+        for x in v.iter_mut() {
             *x /= vnorm;
         }
         // Left: H <- (I - 2vv^T) H on rows k+1..n.
@@ -60,8 +92,16 @@ pub fn hessenberg(a: &Mat) -> Mat {
         for i in (k + 2)..n {
             h[(i, k)] = 0.0;
         }
+        // Accumulate Q <- Q (I - 2vv^T) on columns k+1..n.
+        if let Some(q) = q.as_deref_mut() {
+            for i in 0..n {
+                let dot: f64 = (0..m).map(|j| q[(i, k + 1 + j)] * v[j]).sum();
+                for j in 0..m {
+                    q[(i, k + 1 + j)] -= 2.0 * dot * v[j];
+                }
+            }
+        }
     }
-    h
 }
 
 /// Eigenvalues of the real square matrix `a`, in no particular order.
@@ -111,6 +151,17 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Cplx>> {
         return Ok(vec![l1, l2]);
     }
     let mut h = CMat::from_real(&hessenberg(a));
+    let mut eigs = vec![Cplx::ZERO; n];
+    let mut rots = Vec::new();
+    qr_iterate(&mut h, &mut eigs, &mut rots)?;
+    Ok(eigs)
+}
+
+/// Complex shifted-QR iteration driving the upper Hessenberg matrix `h` to
+/// (block-)triangular form, depositing eigenvalues into `eigs` (already
+/// sized to `n`). `rots` is a reusable Givens-rotation buffer.
+fn qr_iterate(h: &mut CMat, eigs: &mut [Cplx], rots: &mut Vec<(f64, Cplx)>) -> Result<()> {
+    let n = h.rows();
     let hnorm = {
         let mut m = 0.0f64;
         for i in 0..n {
@@ -120,7 +171,6 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Cplx>> {
         }
         m.max(f64::MIN_POSITIVE)
     };
-    let mut eigs = vec![Cplx::ZERO; n];
     let mut hi = n - 1;
     let mut stagnation = 0usize;
     let mut total = 0usize;
@@ -132,7 +182,7 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Cplx>> {
             break;
         }
         // Deflate at hi if the subdiagonal entry is negligible.
-        if negligible(&h, hi, hnorm) {
+        if negligible(h, hi, hnorm) {
             h[(hi, hi - 1)] = Cplx::ZERO;
             eigs[hi] = h[(hi, hi)];
             hi -= 1;
@@ -141,7 +191,7 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Cplx>> {
         }
         // Find the start of the active (unreduced) block ending at hi.
         let mut lo = hi;
-        while lo > 0 && !negligible(&h, lo, hnorm) {
+        while lo > 0 && !negligible(h, lo, hnorm) {
             lo -= 1;
         }
         if lo > 0 {
@@ -166,16 +216,124 @@ pub fn eigenvalues(a: &Mat) -> Result<Vec<Cplx>> {
             let s = h[(hi, hi - 1)].abs() + h[(hi - 1, hi - 2)].abs();
             h[(hi, hi)] + Cplx::from_angle(0.9) * (0.75 * s)
         } else {
-            wilkinson_shift(&h, hi)
+            wilkinson_shift(h, hi)
         };
-        qr_step(&mut h, lo, hi, mu);
+        qr_step(h, lo, hi, mu, rots);
         stagnation += 1;
         total += 1;
         if total > budget {
             return Err(Error::NoConvergence { iterations: total });
         }
     }
-    Ok(eigs)
+    Ok(())
+}
+
+/// Re-entrant eigenvalue workspace (PR 6 scratch-space family).
+///
+/// Owns the Hessenberg matrix, the complex QR iterate, the eigenvalue
+/// output buffer, and the Givens-rotation buffer, so repeated eigenvalue or
+/// spectral-radius queries allocate nothing after the first call. Results
+/// are bit-identical to the allocating [`eigenvalues`] /
+/// [`spectral_radius`] functions, which share the same reduction and
+/// iteration code.
+///
+/// # Examples
+///
+/// ```
+/// use csa_linalg::{spectral_radius, EigScratch, Mat};
+///
+/// # fn main() -> Result<(), csa_linalg::Error> {
+/// let a = Mat::from_diag(&[0.5, -0.9]);
+/// let mut scratch = EigScratch::new();
+/// assert_eq!(scratch.spectral_radius_in(&a)?, spectral_radius(&a)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EigScratch {
+    h: Mat,
+    hc: CMat,
+    eigs: Vec<Cplx>,
+    rots: Vec<(f64, Cplx)>,
+    v: Vec<f64>,
+}
+
+impl EigScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        EigScratch {
+            h: Mat::zeros(1, 1),
+            hc: CMat::zeros(1, 1),
+            eigs: Vec::new(),
+            rots: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Eigenvalues of `a`, bit-identical to [`eigenvalues`], returned as a
+    /// borrow of the internal buffer (valid until the next call).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`eigenvalues`].
+    pub fn eigenvalues_in(&mut self, a: &Mat) -> Result<&[Cplx]> {
+        if !a.is_square() {
+            return Err(Error::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        self.eigs.clear();
+        if n == 1 {
+            self.eigs.push(Cplx::from_re(a[(0, 0)]));
+            return Ok(&self.eigs);
+        }
+        if n == 2 {
+            let (l1, l2) = eig_2x2(
+                Cplx::from_re(a[(0, 0)]),
+                Cplx::from_re(a[(0, 1)]),
+                Cplx::from_re(a[(1, 0)]),
+                Cplx::from_re(a[(1, 1)]),
+            );
+            self.eigs.push(l1);
+            self.eigs.push(l2);
+            return Ok(&self.eigs);
+        }
+        self.h.copy_from(a);
+        hessenberg_in(&mut self.h, &mut self.v, None);
+        self.hc.copy_from_real(&self.h);
+        self.eigs.resize(n, Cplx::ZERO);
+        qr_iterate(&mut self.hc, &mut self.eigs, &mut self.rots)?;
+        Ok(&self.eigs)
+    }
+
+    /// Spectral radius of `a`, bit-identical to [`spectral_radius`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`spectral_radius`].
+    pub fn spectral_radius_in(&mut self, a: &Mat) -> Result<f64> {
+        Ok(self
+            .eigenvalues_in(a)?
+            .iter()
+            .fold(0.0f64, |m, l| m.max(l.abs())))
+    }
+
+    /// Schur stability test, bit-identical to [`is_schur_stable`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`is_schur_stable`].
+    pub fn is_schur_stable_in(&mut self, a: &Mat) -> Result<bool> {
+        Ok(self.spectral_radius_in(a)? < 1.0)
+    }
+}
+
+impl Default for EigScratch {
+    fn default() -> Self {
+        EigScratch::new()
+    }
 }
 
 /// Spectral radius `max |lambda_i(a)|`.
@@ -272,12 +430,12 @@ fn givens(a: Cplx, b: Cplx) -> (f64, Cplx) {
 /// One explicit shifted QR step `H - mu*I = QR; H <- RQ + mu*I` restricted
 /// to the active block `lo..=hi` (the off-block couplings do not affect the
 /// eigenvalues of a block-triangular matrix).
-fn qr_step(h: &mut CMat, lo: usize, hi: usize, mu: Cplx) {
+fn qr_step(h: &mut CMat, lo: usize, hi: usize, mu: Cplx, rots: &mut Vec<(f64, Cplx)>) {
     for i in lo..=hi {
         let d = h[(i, i)] - mu;
         h[(i, i)] = d;
     }
-    let mut rots: Vec<(f64, Cplx)> = Vec::with_capacity(hi - lo);
+    rots.clear();
     // Left rotations: reduce to upper triangular.
     for k in lo..hi {
         let (c, s) = givens(h[(k, k)], h[(k + 1, k)]);

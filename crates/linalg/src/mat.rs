@@ -350,6 +350,103 @@ impl Mat {
         self.data.iter().all(|x| x.is_finite())
     }
 
+    /// Resizes to `rows x cols` in place, reusing the allocation, and fills
+    /// the matrix with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Resets to the `n x n` identity in place.
+    pub fn set_identity(&mut self, n: usize) {
+        self.reset(n, n);
+        for i in 0..n {
+            self[(i, i)] = 1.0;
+        }
+    }
+
+    /// Copies `src` into `self`, resizing in place as needed.
+    pub fn copy_from(&mut self, src: &Mat) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// In-place matrix product `self = a * b`.
+    ///
+    /// Performs the identical sequence of floating-point operations as
+    /// `&a * &b` (including the skip of exact-zero left factors), so results
+    /// are bit-identical to the allocating operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_into(&mut self, a: &Mat, b: &Mat) {
+        assert_eq!(
+            a.cols, b.rows,
+            "matrix product inner dimension mismatch: {}x{} * {}x{}",
+            a.rows, a.cols, b.rows, b.cols
+        );
+        self.reset(a.rows, b.cols);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let aik = a.data[i * a.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    self.data[i * b.cols + j] += aik * b.data[k * b.cols + j];
+                }
+            }
+        }
+    }
+
+    /// In-place sum `self = a + b`; bit-identical to `&a + &b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_into(&mut self, a: &Mat, b: &Mat) {
+        assert_eq!(a.shape(), b.shape(), "matrix addition shape mismatch");
+        self.rows = a.rows;
+        self.cols = a.cols;
+        self.data.clear();
+        self.data
+            .extend(a.data.iter().zip(&b.data).map(|(x, y)| x + y));
+    }
+
+    /// In-place difference `self = a - b`; bit-identical to `&a - &b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub_into(&mut self, a: &Mat, b: &Mat) {
+        assert_eq!(a.shape(), b.shape(), "matrix subtraction shape mismatch");
+        self.rows = a.rows;
+        self.cols = a.cols;
+        self.data.clear();
+        self.data
+            .extend(a.data.iter().zip(&b.data).map(|(x, y)| x - y));
+    }
+
+    /// In-place transpose `self = a^T`; bit-identical to [`Mat::transpose`].
+    pub fn transpose_into(&mut self, a: &Mat) {
+        self.reset(a.cols, a.rows);
+        for i in 0..a.rows {
+            for j in 0..a.cols {
+                self[(j, i)] = a[(i, j)];
+            }
+        }
+    }
+
     /// Maximum absolute element difference to `other`.
     ///
     /// # Panics

@@ -1,0 +1,252 @@
+//! Differential pinning of the PR 6 scratch-space kernels against the
+//! retained one-shot reference implementations.
+//!
+//! Contract (DESIGN.md §10): `LuScratch`, `EigScratch`, `LyapScratch`, and
+//! `DareScratch::solve` are *bit-identical* to `Lu`, `eigenvalues`,
+//! `dlyap`, and `solve_dare` — they perform the same floating-point
+//! operation sequence and merely reuse buffers. `DareScratch::solve_warm`
+//! is iterative from a different seed and is pinned by a tolerance
+//! contract instead (relative error ≲ 1e-9 plus a residual bound).
+
+use csa_linalg::{
+    dare_residual, dlyap, eigenvalues, hessenberg, hessenberg_with_q, solve_dare, DareScratch,
+    EigScratch, LuScratch, LyapScratch, Mat, StageCost,
+};
+
+/// Deterministic pseudo-random matrix generator (splitmix-style LCG).
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+
+    fn mat(&mut self, rows: usize, cols: usize) -> Mat {
+        Mat::from_fn(rows, cols, |_, _| self.next_f64())
+    }
+
+    /// A symmetric PSD matrix `M M^T + eps I`.
+    fn psd(&mut self, n: usize, eps: f64) -> Mat {
+        let m = self.mat(n, n);
+        let mut p = &m * &m.transpose();
+        for i in 0..n {
+            p[(i, i)] += eps;
+        }
+        p
+    }
+
+    /// A Schur-stable matrix (scaled below unit spectral radius).
+    fn stable(&mut self, n: usize) -> Mat {
+        let m = self.mat(n, n);
+        let rho = csa_linalg::spectral_radius(&m).unwrap();
+        m.scale(0.9 / rho.max(1e-6))
+    }
+}
+
+fn assert_bits_eq(a: &Mat, b: &Mat, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for i in 0..a.rows() {
+        for j in 0..a.cols() {
+            assert_eq!(
+                a[(i, j)].to_bits(),
+                b[(i, j)].to_bits(),
+                "{what}: bit mismatch at ({i},{j}): {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+#[test]
+fn lu_scratch_solve_bit_identical() {
+    let mut rng = Rng(0xA11CE);
+    let mut scratch = LuScratch::new();
+    let mut x = Mat::zeros(1, 1);
+    for n in [1usize, 2, 3, 5, 8] {
+        let a = rng.mat(n, n);
+        let b = rng.mat(n, 2);
+        let x_ref = a.solve(&b).unwrap();
+        scratch.factor(&a).unwrap();
+        assert!(!scratch.is_singular());
+        scratch.solve_into(&b, &mut x).unwrap();
+        assert_bits_eq(&x, &x_ref, "LuScratch vs Mat::solve");
+    }
+}
+
+#[test]
+fn lu_scratch_reports_singularity_like_lu() {
+    let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+    let mut scratch = LuScratch::new();
+    scratch.factor(&a).unwrap();
+    assert!(scratch.is_singular());
+    let mut x = Mat::zeros(1, 1);
+    assert!(scratch
+        .solve_into(&Mat::col_vec(&[1.0, 1.0]), &mut x)
+        .is_err());
+}
+
+#[test]
+fn eig_scratch_bit_identical_across_sizes() {
+    let mut rng = Rng(0xBEEF);
+    let mut scratch = EigScratch::new();
+    for n in [1usize, 2, 3, 4, 6, 9] {
+        let a = rng.mat(n, n);
+        let reference = eigenvalues(&a).unwrap();
+        let got = scratch.eigenvalues_in(&a).unwrap();
+        assert_eq!(got.len(), reference.len());
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.re.to_bits(), r.re.to_bits(), "re mismatch (n={n})");
+            assert_eq!(g.im.to_bits(), r.im.to_bits(), "im mismatch (n={n})");
+        }
+        let rho_ref = csa_linalg::spectral_radius(&a).unwrap();
+        let rho = scratch.spectral_radius_in(&a).unwrap();
+        assert_eq!(rho.to_bits(), rho_ref.to_bits(), "spectral radius (n={n})");
+    }
+}
+
+#[test]
+fn hessenberg_with_q_matches_and_reconstructs() {
+    let mut rng = Rng(0xC0FFEE);
+    for n in [2usize, 3, 5, 7] {
+        let a = rng.mat(n, n);
+        let (h, q) = hessenberg_with_q(&a);
+        // H is bit-identical to the plain reduction.
+        assert_bits_eq(&h, &hessenberg(&a), "hessenberg_with_q H");
+        // Q is orthogonal and A = Q H Q^T.
+        let qtq = &q.transpose() * &q;
+        assert!(
+            qtq.max_abs_diff(&Mat::identity(n)) < 1e-13,
+            "Q not orthogonal (n={n})"
+        );
+        let back = &(&q * &h) * &q.transpose();
+        assert!(
+            back.max_abs_diff(&a) < 1e-12 * a.max_abs().max(1.0),
+            "A != Q H Q^T (n={n})"
+        );
+    }
+}
+
+#[test]
+fn lyap_scratch_bit_identical() {
+    let mut rng = Rng(0xD00D);
+    let mut scratch = LyapScratch::new();
+    let mut x = Mat::zeros(1, 1);
+    for n in [1usize, 2, 4, 6] {
+        let a = rng.stable(n);
+        let q = rng.psd(n, 0.1);
+        let x_ref = dlyap(&a, &q).unwrap();
+        scratch.solve_into(&a, &q, &mut x).unwrap();
+        assert_bits_eq(&x, &x_ref, "LyapScratch vs dlyap");
+    }
+}
+
+#[test]
+fn dare_scratch_cold_bit_identical() {
+    let mut rng = Rng(0x5EED);
+    let mut scratch = DareScratch::new();
+    for n in [1usize, 2, 3, 5] {
+        let a = rng.mat(n, n);
+        let b = rng.mat(n, 1);
+        let cost = StageCost::with_cross(
+            rng.psd(n, 0.5),
+            rng.mat(n, 1).scale(0.01),
+            Mat::scalar(1.0 + rng.next_f64().abs()),
+        );
+        let reference = solve_dare(&a, &b, &cost);
+        let got = scratch.solve(&a, &b, &cost);
+        match (got, reference) {
+            (Ok(g), Ok(r)) => {
+                assert_bits_eq(&g.s, &r.s, "DareScratch S");
+                assert_bits_eq(&g.k, &r.k, "DareScratch K");
+            }
+            (Err(_), Err(_)) => {}
+            (g, r) => panic!("cold scratch/reference disagree on success: {g:?} vs {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn dare_warm_matches_cold_within_tolerance() {
+    let mut rng = Rng(0xFACE);
+    let mut scratch = DareScratch::new();
+    for n in [2usize, 3, 4] {
+        let a = rng.mat(n, n);
+        let b = rng.mat(n, 1);
+        let cost = StageCost::new(rng.psd(n, 0.5), Mat::scalar(1.5));
+        let Ok(cold) = solve_dare(&a, &b, &cost) else {
+            continue;
+        };
+        // Perturb the system slightly: the warm start must still converge
+        // to the perturbed system's own solution.
+        let a2 = &a + &rng.mat(n, n).scale(1e-3);
+        let Ok(cold2) = solve_dare(&a2, &b, &cost) else {
+            continue;
+        };
+        let warm = scratch.solve_warm(&a2, &b, &cost, &cold).unwrap();
+        let scale = cold2.s.max_abs().max(1.0);
+        assert!(
+            warm.s.max_abs_diff(&cold2.s) <= 1e-8 * scale,
+            "warm S drifted: {} (n={n})",
+            warm.s.max_abs_diff(&cold2.s) / scale
+        );
+        assert!(
+            warm.k.max_abs_diff(&cold2.k) <= 1e-8 * cold2.k.max_abs().max(1.0),
+            "warm K drifted (n={n})"
+        );
+        assert!(
+            dare_residual(&a2, &b, &cost, &warm.s) <= 1e-8 * scale,
+            "warm residual too large (n={n})"
+        );
+    }
+}
+
+#[test]
+fn dare_warm_with_bad_seed_falls_back_to_cold_bits() {
+    let mut rng = Rng(0xBAD5EED);
+    let mut scratch = DareScratch::new();
+    let n = 3;
+    let a = rng.mat(n, n);
+    let b = rng.mat(n, 1);
+    let cost = StageCost::new(rng.psd(n, 0.5), Mat::scalar(1.0));
+    let cold = solve_dare(&a, &b, &cost).unwrap();
+    // Wrong-shape seed: must take the cold path and reproduce it exactly.
+    let junk = csa_linalg::DareSolution {
+        s: Mat::identity(n + 1),
+        k: Mat::zeros(1, n + 1),
+    };
+    let got = scratch.solve_warm(&a, &b, &cost, &junk).unwrap();
+    assert_bits_eq(&got.s, &cold.s, "fallback S");
+    assert_bits_eq(&got.k, &cold.k, "fallback K");
+    // Destabilizing seed (huge gain): also falls back bit-exactly.
+    let bad = csa_linalg::DareSolution {
+        s: Mat::identity(n),
+        k: Mat::from_fn(1, n, |_, _| 1e6),
+    };
+    let got = scratch.solve_warm(&a, &b, &cost, &bad).unwrap();
+    assert_bits_eq(&got.s, &cold.s, "destabilized-seed fallback S");
+    assert_bits_eq(&got.k, &cold.k, "destabilized-seed fallback K");
+}
+
+#[test]
+fn mat_inplace_helpers_bit_identical() {
+    let mut rng = Rng(0x1234);
+    let a = rng.mat(4, 3);
+    let b = rng.mat(3, 5);
+    let c = rng.mat(4, 3);
+    let mut out = Mat::zeros(1, 1);
+    out.mul_into(&a, &b);
+    assert_bits_eq(&out, &(&a * &b), "mul_into");
+    out.add_into(&a, &c);
+    assert_bits_eq(&out, &(&a + &c), "add_into");
+    out.sub_into(&a, &c);
+    assert_bits_eq(&out, &(&a - &c), "sub_into");
+    out.transpose_into(&a);
+    assert_bits_eq(&out, &a.transpose(), "transpose_into");
+    out.set_identity(4);
+    assert_bits_eq(&out, &Mat::identity(4), "set_identity");
+}
