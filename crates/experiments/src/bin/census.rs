@@ -8,16 +8,27 @@
 //! default, `portfolio`, `opa`) and `--budget N` caps its logical
 //! checks per instance. Every anomalous instance found is serialized
 //! as a replayable witness line.
+//!
+//! Crash safety (DESIGN.md §11): `--checkpoint-dir DIR` journals each
+//! completed shard atomically; `--resume` replays a compatible journal
+//! and skips completed shards, making a killed run restartable with
+//! bit-identical final output. `--shard-size N` sets the checkpoint
+//! granularity, `--reservoir N` bounds witnesses kept per shard, and
+//! `--instance-timeout MS` quarantines overlong instances instead of
+//! letting one pathological benchmark stall the sweep. Panicking
+//! instances are always quarantined (recorded with their replayable
+//! seed, never aborting the run).
 
 use csa_experiments::{
-    budget_flag, csv_file_name, format_census, profile_flag, quick_flag, run_census_collecting,
-    search_flag, task_counts_flag, threads_flag, warm_cached_tables, write_csv, write_witness_file,
-    CensusConfig, SearchConfig,
+    budget_flag, csv_file_name, format_census, orchestrator_flags, profile_flag, quick_flag,
+    run_census_orchestrated, search_flag, task_counts_flag, threads_flag, warm_cached_tables,
+    write_csv, write_quarantine_file, write_witness_file, CensusConfig, SearchConfig,
 };
 
 fn main() -> std::io::Result<()> {
     let profile = profile_flag();
     let search = SearchConfig::new(search_flag(), budget_flag());
+    let orch = orchestrator_flags();
     let mut config = if quick_flag() {
         CensusConfig::quick()
     } else {
@@ -34,14 +45,20 @@ fn main() -> std::io::Result<()> {
         config.benchmarks, config.task_counts, profile, search.mode, threads
     );
     warm_cached_tables(threads);
-    let (rows, witnesses) = run_census_collecting(&config, threads);
-    println!("{}", format_census(&rows));
+    let run = run_census_orchestrated(&config, &orch, threads)?;
+    eprintln!(
+        "census: {} shard(s) computed, {} resumed from checkpoint, {} instance(s) quarantined",
+        run.shards_computed,
+        run.shards_resumed,
+        run.quarantined.len()
+    );
+    println!("{}", format_census(&run.rows));
     let path = write_csv(
         &csv_file_name("census", profile, &search),
-        "n,benchmarks,solvable,interference_anomalies,priority_raise_anomalies,opa_incomplete,unsafe_invalid,certificate_lies,truncated",
-        rows.iter().map(|r| {
+        "n,benchmarks,solvable,interference_anomalies,priority_raise_anomalies,opa_incomplete,unsafe_invalid,certificate_lies,truncated,quarantined",
+        run.rows.iter().map(|r| {
             format!(
-                "{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{}",
                 r.n,
                 r.benchmarks,
                 r.solvable,
@@ -50,17 +67,29 @@ fn main() -> std::io::Result<()> {
                 r.opa_incomplete,
                 r.unsafe_invalid,
                 r.certificate_lies,
-                r.truncated
+                r.truncated,
+                r.quarantined
             )
         }),
     )?;
     eprintln!("wrote {}", path.display());
-    if !witnesses.is_empty() {
-        let wpath = write_witness_file(&format!("witnesses_census_{profile}.txt"), &witnesses)?;
+    if !run.witnesses.is_empty() {
+        let wpath = write_witness_file(&format!("witnesses_census_{profile}.txt"), &run.witnesses)?;
         eprintln!(
             "wrote {} anomalous-instance witness(es) to {}",
-            witnesses.len(),
+            run.witnesses.len(),
             wpath.display()
+        );
+    }
+    if !run.quarantined.is_empty() {
+        let qpath = write_quarantine_file(
+            &format!("quarantine_census_{profile}.txt"),
+            &run.quarantined,
+        )?;
+        eprintln!(
+            "wrote {} quarantined instance(s) to {} (each line carries the rng seed for offline replay)",
+            run.quarantined.len(),
+            qpath.display()
         );
     }
     Ok(())

@@ -8,16 +8,27 @@
 //! `opa`) and `--budget N` caps its logical checks per instance.
 //! Every invalid instance found is serialized as a replayable witness
 //! line.
+//!
+//! Crash safety (DESIGN.md §11): `--checkpoint-dir DIR` journals each
+//! completed shard atomically; `--resume` replays a compatible journal
+//! and skips completed shards, making a killed run restartable with
+//! bit-identical final output. `--shard-size N` sets the checkpoint
+//! granularity, `--reservoir N` bounds witnesses kept per shard, and
+//! `--instance-timeout MS` quarantines overlong instances instead of
+//! letting one pathological benchmark stall the sweep. Panicking
+//! instances are always quarantined (recorded with their replayable
+//! seed, never aborting the run).
 
 use csa_experiments::{
-    budget_flag, csv_file_name, format_table1, profile_flag, quick_flag, run_table1_collecting,
-    search_flag, task_counts_flag, threads_flag, warm_cached_tables, write_csv, write_witness_file,
-    SearchConfig, Table1Config,
+    budget_flag, csv_file_name, format_table1, orchestrator_flags, profile_flag, quick_flag,
+    run_table1_orchestrated, search_flag, task_counts_flag, threads_flag, warm_cached_tables,
+    write_csv, write_quarantine_file, write_witness_file, SearchConfig, Table1Config,
 };
 
 fn main() -> std::io::Result<()> {
     let profile = profile_flag();
     let search = SearchConfig::new(search_flag(), budget_flag());
+    let orch = orchestrator_flags();
     let mut config = if quick_flag() {
         Table1Config::quick()
     } else {
@@ -34,31 +45,49 @@ fn main() -> std::io::Result<()> {
         config.benchmarks, config.task_counts, config.seed, profile, search.mode, threads
     );
     warm_cached_tables(threads);
-    let (rows, witnesses) = run_table1_collecting(&config, threads);
-    println!("{}", format_table1(&rows));
+    let run = run_table1_orchestrated(&config, &orch, threads)?;
+    eprintln!(
+        "table1: {} shard(s) computed, {} resumed from checkpoint, {} instance(s) quarantined",
+        run.shards_computed,
+        run.shards_resumed,
+        run.quarantined.len()
+    );
+    println!("{}", format_table1(&run.rows));
     let path = write_csv(
         &csv_file_name("table1", profile, &search),
-        "n,benchmarks,invalid,no_solution,solved,truncated,invalid_pct",
-        rows.iter().map(|r| {
+        "n,benchmarks,invalid,no_solution,solved,truncated,quarantined,invalid_pct",
+        run.rows.iter().map(|r| {
             format!(
-                "{},{},{},{},{},{},{:.4}",
+                "{},{},{},{},{},{},{},{:.4}",
                 r.n,
                 r.benchmarks,
                 r.invalid,
                 r.no_solution,
                 r.solved,
                 r.truncated,
+                r.quarantined,
                 r.invalid_pct()
             )
         }),
     )?;
     eprintln!("wrote {}", path.display());
-    if !witnesses.is_empty() {
-        let wpath = write_witness_file(&format!("witnesses_table1_{profile}.txt"), &witnesses)?;
+    if !run.witnesses.is_empty() {
+        let wpath = write_witness_file(&format!("witnesses_table1_{profile}.txt"), &run.witnesses)?;
         eprintln!(
             "wrote {} invalid-instance witness(es) to {}",
-            witnesses.len(),
+            run.witnesses.len(),
             wpath.display()
+        );
+    }
+    if !run.quarantined.is_empty() {
+        let qpath = write_quarantine_file(
+            &format!("quarantine_table1_{profile}.txt"),
+            &run.quarantined,
+        )?;
+        eprintln!(
+            "wrote {} quarantined instance(s) to {} (each line carries the rng seed for offline replay)",
+            run.quarantined.len(),
+            qpath.display()
         );
     }
     Ok(())

@@ -13,7 +13,9 @@
 //!   quantity, re-measured here per benchmark).
 
 use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
-use crate::parallel::{instance_seed, parallel_map};
+use crate::orchestrate::{
+    run_sharded_sweep, AggRow, InstanceOutput, OrchestratedRun, OrchestratorConfig, SweepSpec,
+};
 use crate::search::SearchConfig;
 use crate::witness::{Witness, WitnessKind};
 use csa_core::{
@@ -105,6 +107,9 @@ pub struct CensusRow {
     /// without deciding (counted as unsolvable but reported apart:
     /// "unknown", not "infeasible"; always 0 for unbudgeted searches).
     pub truncated: usize,
+    /// Benchmarks quarantined by the orchestrator (panic or timeout;
+    /// see DESIGN.md §11) and excluded from every other counter.
+    pub quarantined: usize,
 }
 
 /// Does the benchmark contain a task that is stable under maximum
@@ -153,19 +158,111 @@ pub fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
     false
 }
 
-/// Per-instance census flags, folded into a [`CensusRow`] in index
-/// order. `witness_tasks` carries the task set only for instances that
-/// triggered at least one witness-worthy event.
-#[derive(Debug, Clone)]
-struct InstanceFlags {
-    solvable: bool,
-    truncated: bool,
-    interference_anomaly: bool,
-    priority_raise_anomaly: bool,
-    opa_incomplete: bool,
-    unsafe_invalid: bool,
-    certificate_lie: bool,
-    witness_tasks: Option<Vec<ControlTask>>,
+/// Counter columns of the census sweep, in journal/CSV order.
+const CENSUS_COLUMNS: &[&str] = &[
+    "solvable",
+    "interference_anomalies",
+    "priority_raise_anomalies",
+    "opa_incomplete",
+    "unsafe_invalid",
+    "certificate_lies",
+    "truncated",
+];
+
+/// Evaluates one benchmark instance of the census sweep: generates the
+/// task set from `rng_seed`, runs the anomaly detectors, and emits a
+/// [`Witness`] per triggered event (in [`WitnessKind`] declaration
+/// order, matching the historical collection order).
+fn census_instance(config: &CensusConfig, n: usize, k: usize, rng_seed: u64) -> InstanceOutput {
+    let bench_cfg = BenchmarkConfig::with_model(n, config.profile);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let tasks = generate_benchmark(&bench_cfg, &mut rng);
+    let certificate_lie = has_certificate_lie(&tasks);
+    let bt = config.search.solve(&tasks);
+    let (solvable, interference_anomaly, priority_raise_anomaly, opa_incomplete) =
+        match &bt.assignment {
+            Some(pa) => {
+                let interf = match find_interference_removal_anomaly(&tasks, pa) {
+                    Some(w) => {
+                        debug_assert!(verify_witness(&tasks, pa, &w));
+                        true
+                    }
+                    None => false,
+                };
+                (
+                    true,
+                    interf,
+                    find_priority_raise_anomaly(&tasks, pa).is_some(),
+                    audsley_opa(&tasks).assignment.is_none(),
+                )
+            }
+            None => (false, false, false, false),
+        };
+    let unsafe_invalid = match unsafe_quadratic(&tasks).assignment {
+        Some(pa) => !is_valid_assignment(&tasks, &pa),
+        None => false,
+    };
+    let counts = vec![
+        u64::from(solvable),
+        u64::from(interference_anomaly),
+        u64::from(priority_raise_anomaly),
+        u64::from(opa_incomplete),
+        u64::from(unsafe_invalid),
+        u64::from(certificate_lie),
+        u64::from(bt.stats.truncated),
+    ];
+    let kinds = [
+        (unsafe_invalid, WitnessKind::UnsafeInvalid),
+        (interference_anomaly, WitnessKind::InterferenceAnomaly),
+        (priority_raise_anomaly, WitnessKind::PriorityRaiseAnomaly),
+        (opa_incomplete, WitnessKind::OpaIncomplete),
+        (certificate_lie, WitnessKind::CertificateLie),
+    ];
+    let witnesses = kinds
+        .into_iter()
+        .filter(|&(hit, _)| hit)
+        .map(|(_, kind)| Witness {
+            kind,
+            profile: config.profile,
+            seed: config.seed,
+            n,
+            index: k,
+            tasks: tasks.clone(),
+        })
+        .collect();
+    InstanceOutput { counts, witnesses }
+}
+
+/// The sweep descriptor fingerprinting everything the census rows are a
+/// function of.
+fn census_spec(config: &CensusConfig) -> SweepSpec {
+    SweepSpec {
+        name: "census",
+        columns: CENSUS_COLUMNS,
+        seed: config.seed,
+        task_counts: config.task_counts.clone(),
+        benchmarks: config.benchmarks,
+        config: vec![
+            ("profile", config.profile.name().to_string()),
+            ("search", config.search.mode.name().to_string()),
+            ("budget", config.search.budget.to_string()),
+        ],
+    }
+}
+
+fn agg_to_census_row(agg: AggRow) -> CensusRow {
+    CensusRow {
+        n: agg.n,
+        benchmarks: agg.benchmarks,
+        solvable: agg.counts[0] as usize,
+        interference_anomalies: agg.counts[1] as usize,
+        priority_raise_anomalies: agg.counts[2] as usize,
+        opa_incomplete: agg.counts[3] as usize,
+        unsafe_invalid: agg.counts[4] as usize,
+        certificate_lies: agg.counts[5] as usize,
+        truncated: agg.counts[6] as usize,
+        quarantined: agg.quarantined as usize,
+    }
 }
 
 /// Runs the census single-threaded (see [`run_census_with_threads`]).
@@ -183,105 +280,39 @@ pub fn run_census_with_threads(config: &CensusConfig, threads: usize) -> Vec<Cen
 /// [`run_census_with_threads`], additionally returning a replayable
 /// [`Witness`] for every anomalous event found, ordered by `(n, index)`
 /// and by [`WitnessKind`] within one instance.
+///
+/// Streams through the sharded orchestrator with checkpointing disabled
+/// — only one shard of per-instance results is ever in memory.
 pub fn run_census_collecting(
     config: &CensusConfig,
     threads: usize,
 ) -> (Vec<CensusRow>, Vec<Witness>) {
-    let mut witnesses = Vec::new();
-    let rows = config
-        .task_counts
-        .iter()
-        .map(|&n| {
-            let bench_cfg = BenchmarkConfig::with_model(n, config.profile);
-            let flags = parallel_map(config.benchmarks, threads, |k| {
-                let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, n, k));
-                let tasks = generate_benchmark(&bench_cfg, &mut rng);
-                let certificate_lie = has_certificate_lie(&tasks);
-                let bt = config.search.solve(&tasks);
-                let (solvable, interference_anomaly, priority_raise_anomaly, opa_incomplete) =
-                    match &bt.assignment {
-                        Some(pa) => {
-                            let interf = match find_interference_removal_anomaly(&tasks, pa) {
-                                Some(w) => {
-                                    debug_assert!(verify_witness(&tasks, pa, &w));
-                                    true
-                                }
-                                None => false,
-                            };
-                            (
-                                true,
-                                interf,
-                                find_priority_raise_anomaly(&tasks, pa).is_some(),
-                                audsley_opa(&tasks).assignment.is_none(),
-                            )
-                        }
-                        None => (false, false, false, false),
-                    };
-                let unsafe_invalid = match unsafe_quadratic(&tasks).assignment {
-                    Some(pa) => !is_valid_assignment(&tasks, &pa),
-                    None => false,
-                };
-                let witnessed = interference_anomaly
-                    || priority_raise_anomaly
-                    || opa_incomplete
-                    || unsafe_invalid
-                    || certificate_lie;
-                InstanceFlags {
-                    solvable,
-                    truncated: bt.stats.truncated,
-                    interference_anomaly,
-                    priority_raise_anomaly,
-                    opa_incomplete,
-                    unsafe_invalid,
-                    certificate_lie,
-                    witness_tasks: witnessed.then_some(tasks),
-                }
-            });
-            let mut row = CensusRow {
-                n,
-                benchmarks: config.benchmarks,
-                solvable: 0,
-                interference_anomalies: 0,
-                priority_raise_anomalies: 0,
-                opa_incomplete: 0,
-                unsafe_invalid: 0,
-                certificate_lies: 0,
-                truncated: 0,
-            };
-            for (k, f) in flags.into_iter().enumerate() {
-                row.solvable += usize::from(f.solvable);
-                row.truncated += usize::from(f.truncated);
-                row.interference_anomalies += usize::from(f.interference_anomaly);
-                row.priority_raise_anomalies += usize::from(f.priority_raise_anomaly);
-                row.opa_incomplete += usize::from(f.opa_incomplete);
-                row.unsafe_invalid += usize::from(f.unsafe_invalid);
-                row.certificate_lies += usize::from(f.certificate_lie);
-                if let Some(tasks) = f.witness_tasks {
-                    let kinds = [
-                        (f.unsafe_invalid, WitnessKind::UnsafeInvalid),
-                        (f.interference_anomaly, WitnessKind::InterferenceAnomaly),
-                        (f.priority_raise_anomaly, WitnessKind::PriorityRaiseAnomaly),
-                        (f.opa_incomplete, WitnessKind::OpaIncomplete),
-                        (f.certificate_lie, WitnessKind::CertificateLie),
-                    ];
-                    for (hit, kind) in kinds {
-                        if hit {
-                            witnesses.push(Witness {
-                                kind,
-                                profile: config.profile,
-                                seed: config.seed,
-                                n,
-                                index: k,
-                                tasks: tasks.clone(),
-                            });
-                        }
-                    }
-                }
-            }
-            row
-        })
-        .collect();
-    (rows, witnesses)
+    let run = run_census_orchestrated(config, &OrchestratorConfig::in_memory(), threads)
+        .expect("in-memory sweep performs no I/O");
+    (run.rows, run.witnesses)
+}
+
+/// Runs the census under full orchestration: streaming shards, optional
+/// checkpoint/resume, and panic/timeout quarantine (see
+/// [`run_sharded_sweep`] and DESIGN.md §11). With a checkpoint
+/// directory and `resume`, a killed run continues where it stopped and
+/// the final rows and witnesses are bit-identical to an uninterrupted
+/// run at any thread count.
+///
+/// # Errors
+///
+/// Propagates checkpoint-journal write failures; an in-memory
+/// configuration cannot fail.
+pub fn run_census_orchestrated(
+    config: &CensusConfig,
+    orch: &OrchestratorConfig,
+    threads: usize,
+) -> std::io::Result<OrchestratedRun<CensusRow>> {
+    let spec = census_spec(config);
+    let run = run_sharded_sweep(&spec, orch, threads, |n, k, rng_seed| {
+        census_instance(config, n, k, rng_seed)
+    })?;
+    Ok(run.map_rows(agg_to_census_row))
 }
 
 /// Formats the census as a readable table.
@@ -294,7 +325,7 @@ pub fn format_census(rows: &[CensusRow]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:>4} {:>10} {:>10} {:>14} {:>14} {:>12} {:>14} {:>14} {:>10}",
+        "{:>4} {:>10} {:>10} {:>14} {:>14} {:>12} {:>14} {:>14} {:>10} {:>9}",
         "n",
         "bench",
         "solvable",
@@ -303,7 +334,8 @@ pub fn format_census(rows: &[CensusRow]) -> String {
         "opa.fail",
         "unsafe.invalid",
         "cert.lies",
-        "truncated"
+        "truncated",
+        "quarant."
     );
     for r in rows {
         let pct = |x: usize, base: usize| {
@@ -315,16 +347,17 @@ pub fn format_census(rows: &[CensusRow]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:>4} {:>10} {:>10} {:>13.2}% {:>13.2}% {:>11.2}% {:>13.2}% {:>13.3}% {:>9.2}%",
+            "{:>4} {:>10} {:>10} {:>13.2}% {:>13.2}% {:>11.2}% {:>13.2}% {:>13.3}% {:>9.2}% {:>9}",
             r.n,
             r.benchmarks,
             r.solvable,
             pct(r.interference_anomalies, r.solvable),
             pct(r.priority_raise_anomalies, r.solvable),
             pct(r.opa_incomplete, r.solvable),
-            pct(r.unsafe_invalid, r.benchmarks),
-            pct(r.certificate_lies, r.benchmarks),
-            pct(r.truncated, r.benchmarks),
+            pct(r.unsafe_invalid, r.benchmarks - r.quarantined),
+            pct(r.certificate_lies, r.benchmarks - r.quarantined),
+            pct(r.truncated, r.benchmarks - r.quarantined),
+            r.quarantined,
         );
     }
     out
@@ -429,12 +462,15 @@ mod tests {
             unsafe_invalid: 0,
             certificate_lies: 1,
             truncated: 0,
+            quarantined: 2,
         }];
         let s = format_census(&rows);
         assert!(s.contains("interf.anom"));
         assert!(s.contains("cert.lies"));
         assert!(s.contains("truncated"));
+        assert!(s.contains("quarant."));
         assert!(s.contains("11.11%"));
-        assert!(s.contains("10.000%"));
+        // 1 certificate lie over 10 - 2 = 8 non-quarantined benchmarks.
+        assert!(s.contains("12.500%"));
     }
 }

@@ -1,0 +1,530 @@
+//! Crash-safe checkpoint journal for the sharded sweep orchestrator.
+//!
+//! A large sweep (DESIGN.md §11) is split into deterministic shards of
+//! consecutive instance indices; as each shard completes, its aggregate
+//! counter row, its (bounded) witness sample, and its quarantined
+//! instances are appended to a plain-text *journal* under the checkpoint
+//! directory. The journal is always rewritten through
+//! [`crate::write_atomic`] (write `.tmp`, fsync, rename), so a crash at
+//! any instant — including SIGKILL mid-write — leaves either the
+//! previous complete journal or the new complete journal on disk, never
+//! a torn file.
+//!
+//! The first content line is a *fingerprint header* assembled by the
+//! orchestrator from everything the shard results are a function of:
+//! sweep name, base seed, instance counts, column layout, shard size,
+//! reservoir capacity, instance timeout, the margin-kernel revision and
+//! plant-pool fingerprint (reusing the staleness-guard discipline of
+//! [`crate::margin_cache`]), and the sweep-specific configuration
+//! (profile, search mode, budget). A resume validates the header field
+//! by field; any mismatch is reported as a named [`CheckpointStale`]
+//! reason and the sweep recomputes from scratch with a warning — a
+//! stale or corrupt journal is **never** silently merged.
+//!
+//! Record grammar (after the header; blank lines and `#` comments are
+//! skipped):
+//!
+//! ```text
+//! s|<n>|<start>|<len>|<c0,c1,...>|<witness count>|<quarantine count>
+//! w|<witness line in the csaw1 format of witness.rs>
+//! q|<index>|<rng seed as 16-hex-digit>|panic|<sanitized message>
+//! q|<index>|<rng seed as 16-hex-digit>|timeout|<elapsed ms>
+//! ```
+
+use crate::report::{write_atomic, RESULTS_DIR};
+use crate::witness::Witness;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Version tag of the checkpoint-journal format; first header field.
+pub const CHECKPOINT_TAG: &str = "csacp1";
+
+/// File-name extension of journals inside the checkpoint directory.
+const JOURNAL_EXT: &str = "csacp";
+
+/// Why a checkpoint journal cannot back the current sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointStale {
+    /// No journal exists at the path (first run; not an error).
+    Missing,
+    /// A named fingerprint-header field does not match the sweep about
+    /// to run (carries the field's `key=` name, or the raw field text
+    /// for the version tag).
+    Mismatch(String),
+    /// The file exists but cannot be parsed (corruption or an I/O error
+    /// other than absence); carries a diagnostic.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointStale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointStale::Missing => write!(f, "no checkpoint journal"),
+            CheckpointStale::Mismatch(field) => {
+                write!(f, "fingerprint mismatch in header field {field:?}")
+            }
+            CheckpointStale::Malformed(m) => write!(f, "malformed journal: {m}"),
+        }
+    }
+}
+
+/// Why an instance was quarantined instead of aggregated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The worker panicked while evaluating the instance; carries the
+    /// sanitized panic message.
+    Panic(String),
+    /// Evaluation finished but exceeded the configured per-instance
+    /// timeout; carries the measured wall-clock milliseconds.
+    Timeout {
+        /// Measured evaluation time in milliseconds.
+        elapsed_ms: u64,
+    },
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Panic(msg) => write!(f, "panic: {msg}"),
+            QuarantineReason::Timeout { elapsed_ms } => {
+                write!(f, "timeout: evaluation took {elapsed_ms} ms")
+            }
+        }
+    }
+}
+
+/// One quarantined instance: its sweep coordinates, the exact RNG seed
+/// ([`crate::instance_seed`]`(seed, n, index)`) to replay it offline,
+/// and the reason it was excluded from the aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedInstance {
+    /// Task count of the sweep row.
+    pub n: usize,
+    /// Instance index within the row.
+    pub index: usize,
+    /// The instance's derived RNG seed — `StdRng::seed_from_u64(seed)`
+    /// regenerates the exact benchmark for offline replay.
+    pub rng_seed: u64,
+    /// Why the instance was quarantined.
+    pub reason: QuarantineReason,
+}
+
+/// Replaces journal-hostile characters (`|`, newlines, controls) and
+/// truncates, so a panic message can ride in one journal field.
+pub(crate) fn sanitize_message(msg: &str) -> String {
+    let mut out: String = msg
+        .chars()
+        .map(|c| if c == '|' || c.is_control() { ' ' } else { c })
+        .take(160)
+        .collect();
+    if msg.chars().count() > 160 {
+        out.push('…');
+    }
+    out
+}
+
+/// One completed shard: the half-open instance range `start..start+len`
+/// of the `n`-task row, its aggregate counters (one per sweep column),
+/// its witness sample, and its quarantined instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecord {
+    /// Task count of the sweep row this shard belongs to.
+    pub n: usize,
+    /// First instance index of the shard.
+    pub start: usize,
+    /// Number of instances in the shard.
+    pub len: usize,
+    /// Aggregate counters in the sweep's column order.
+    pub counts: Vec<u64>,
+    /// Witness sample (bounded by the orchestrator's reservoir).
+    pub witnesses: Vec<Witness>,
+    /// Instances excluded from `counts` (each also absent from
+    /// `witnesses`).
+    pub quarantined: Vec<QuarantinedInstance>,
+}
+
+impl ShardRecord {
+    fn push_lines(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            out,
+            "s|{}|{}|{}|{}|{}|{}",
+            self.n,
+            self.start,
+            self.len,
+            counts.join(","),
+            self.witnesses.len(),
+            self.quarantined.len(),
+        );
+        for w in &self.witnesses {
+            let _ = writeln!(out, "w|{}", w.to_line());
+        }
+        for q in &self.quarantined {
+            match &q.reason {
+                QuarantineReason::Panic(msg) => {
+                    let _ = writeln!(
+                        out,
+                        "q|{}|{:016x}|panic|{}",
+                        q.index,
+                        q.rng_seed,
+                        sanitize_message(msg)
+                    );
+                }
+                QuarantineReason::Timeout { elapsed_ms } => {
+                    let _ = writeln!(
+                        out,
+                        "q|{}|{:016x}|timeout|{elapsed_ms}",
+                        q.index, q.rng_seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Journal path of one sweep inside a checkpoint directory.
+pub fn journal_path(dir: &Path, sweep: &str) -> PathBuf {
+    dir.join(format!("{sweep}.{JOURNAL_EXT}"))
+}
+
+/// Atomically writes the whole journal: header plus every completed
+/// shard. Called after each freshly computed shard; the rewrite is what
+/// keeps every published journal a complete, self-consistent file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub(crate) fn save_journal(
+    path: &Path,
+    header: &str,
+    records: &[ShardRecord],
+) -> std::io::Result<()> {
+    let mut out = String::with_capacity(256 + records.len() * 64);
+    out.push_str("# Sweep checkpoint journal: one `s` record per completed shard with its\n");
+    out.push_str("# witness sample (`w`) and quarantined instances (`q`). Rewritten\n");
+    out.push_str("# atomically after every shard; stale headers are recomputed, never merged.\n");
+    out.push_str(header);
+    out.push('\n');
+    for r in records {
+        r.push_lines(&mut out);
+    }
+    write_atomic(path, &out)
+}
+
+/// Compares a journal header with the expected one, naming the first
+/// differing `key=value` field.
+fn check_journal_header(line: &str, expected: &str) -> Result<(), CheckpointStale> {
+    if line == expected {
+        return Ok(());
+    }
+    let got: Vec<&str> = line.split('|').collect();
+    let want: Vec<&str> = expected.split('|').collect();
+    if got.first() != want.first() {
+        return Err(CheckpointStale::Mismatch(
+            got.first().unwrap_or(&"").to_string(),
+        ));
+    }
+    for (g, w) in got.iter().zip(&want) {
+        if g != w {
+            let field = w.split('=').next().unwrap_or(w);
+            return Err(CheckpointStale::Mismatch(format!("{field}=")));
+        }
+    }
+    // Same prefix but different lengths: a field was added or dropped.
+    Err(CheckpointStale::Malformed(format!(
+        "header has {} fields, expected {}",
+        got.len(),
+        want.len()
+    )))
+}
+
+fn parse_usize(s: &str, line: usize) -> Result<usize, CheckpointStale> {
+    s.parse()
+        .map_err(|e| CheckpointStale::Malformed(format!("line {line}: bad integer {s:?}: {e}")))
+}
+
+/// Loads a checkpoint journal and validates it against the expected
+/// fingerprint header and column count.
+///
+/// # Errors
+///
+/// [`CheckpointStale`] when the file is absent, fingerprints differ, or
+/// the body is corrupt. Callers must recompute every shard in every
+/// error case (warn-and-recompute; never merge a stale journal).
+pub(crate) fn load_journal(
+    path: &Path,
+    expected_header: &str,
+    columns: usize,
+) -> Result<Vec<ShardRecord>, CheckpointStale> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CheckpointStale::Missing),
+        Err(e) => {
+            return Err(CheckpointStale::Malformed(format!(
+                "read {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim_end()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| CheckpointStale::Malformed("empty journal".to_string()))?;
+    check_journal_header(header, expected_header)?;
+
+    let mut records = Vec::new();
+    let mut lines = lines.peekable();
+    while let Some((ln, line)) = lines.next() {
+        let fields: Vec<&str> = line.split('|').collect();
+        let ["s", n, start, len, counts, nwit, nquar] = fields.as_slice() else {
+            return Err(CheckpointStale::Malformed(format!(
+                "line {ln}: expected `s` shard record, got {line:?}"
+            )));
+        };
+        let counts: Vec<u64> = counts
+            .split(',')
+            .map(|c| {
+                c.parse::<u64>().map_err(|e| {
+                    CheckpointStale::Malformed(format!("line {ln}: bad counter {c:?}: {e}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if counts.len() != columns {
+            return Err(CheckpointStale::Malformed(format!(
+                "line {ln}: {} counters, sweep has {columns} columns",
+                counts.len()
+            )));
+        }
+        let mut record = ShardRecord {
+            n: parse_usize(n, ln)?,
+            start: parse_usize(start, ln)?,
+            len: parse_usize(len, ln)?,
+            counts,
+            witnesses: Vec::new(),
+            quarantined: Vec::new(),
+        };
+        for _ in 0..parse_usize(nwit, ln)? {
+            let (ln, line) = lines.next().ok_or_else(|| {
+                CheckpointStale::Malformed("unexpected end of file, expected witness".to_string())
+            })?;
+            let Some(rest) = line.strip_prefix("w|") else {
+                return Err(CheckpointStale::Malformed(format!(
+                    "line {ln}: expected `w` witness record, got {line:?}"
+                )));
+            };
+            record.witnesses.push(
+                Witness::parse(rest)
+                    .map_err(|e| CheckpointStale::Malformed(format!("line {ln}: {e}")))?,
+            );
+        }
+        for _ in 0..parse_usize(nquar, ln)? {
+            let (ln, line) = lines.next().ok_or_else(|| {
+                CheckpointStale::Malformed(
+                    "unexpected end of file, expected quarantine record".to_string(),
+                )
+            })?;
+            let fields: Vec<&str> = line.splitn(5, '|').collect();
+            let ["q", index, seed, kind, detail] = fields.as_slice() else {
+                return Err(CheckpointStale::Malformed(format!(
+                    "line {ln}: expected `q` quarantine record, got {line:?}"
+                )));
+            };
+            let rng_seed = u64::from_str_radix(seed, 16).map_err(|e| {
+                CheckpointStale::Malformed(format!("line {ln}: bad rng seed {seed:?}: {e}"))
+            })?;
+            let reason = match *kind {
+                "panic" => QuarantineReason::Panic(detail.to_string()),
+                "timeout" => QuarantineReason::Timeout {
+                    elapsed_ms: detail.parse().map_err(|e| {
+                        CheckpointStale::Malformed(format!(
+                            "line {ln}: bad timeout ms {detail:?}: {e}"
+                        ))
+                    })?,
+                },
+                other => {
+                    return Err(CheckpointStale::Malformed(format!(
+                        "line {ln}: unknown quarantine kind {other:?}"
+                    )))
+                }
+            };
+            record.quarantined.push(QuarantinedInstance {
+                n: record.n,
+                index: parse_usize(index, ln)?,
+                rng_seed,
+                reason,
+            });
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Writes quarantined instances to `results/<file_name>` for offline
+/// replay (one line each: `csaq1|n|index|rng_seed_hex|reason|detail`)
+/// and returns the full path. Atomic like every artifact writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_quarantine_file(
+    file_name: &str,
+    quarantined: &[QuarantinedInstance],
+) -> std::io::Result<PathBuf> {
+    use std::fmt::Write as _;
+    let path = Path::new(RESULTS_DIR).join(file_name);
+    let mut content = format!(
+        "# {} quarantined instance(s); replay with StdRng::seed_from_u64(0x<rng_seed>)\n",
+        quarantined.len()
+    );
+    for q in quarantined {
+        let (kind, detail) = match &q.reason {
+            QuarantineReason::Panic(msg) => ("panic", sanitize_message(msg)),
+            QuarantineReason::Timeout { elapsed_ms } => ("timeout", elapsed_ms.to_string()),
+        };
+        let _ = writeln!(
+            content,
+            "csaq1|{}|{}|{:016x}|{kind}|{detail}",
+            q.n, q.index, q.rng_seed
+        );
+    }
+    write_atomic(&path, &content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
+    use crate::parallel::instance_seed;
+    use crate::witness::WitnessKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_records() -> Vec<ShardRecord> {
+        let (seed, n) = (2017u64, 4usize);
+        let mut rng = StdRng::seed_from_u64(instance_seed(seed, n, 3));
+        let tasks = generate_benchmark(
+            &BenchmarkConfig::with_model(n, PeriodModel::Continuous),
+            &mut rng,
+        );
+        vec![
+            ShardRecord {
+                n,
+                start: 0,
+                len: 8,
+                counts: vec![5, 0, 3],
+                witnesses: vec![Witness {
+                    kind: WitnessKind::CertificateLie,
+                    profile: PeriodModel::Continuous,
+                    seed,
+                    n,
+                    index: 3,
+                    tasks,
+                }],
+                quarantined: vec![
+                    QuarantinedInstance {
+                        n,
+                        index: 5,
+                        rng_seed: instance_seed(seed, n, 5),
+                        reason: QuarantineReason::Panic("boom at 5".to_string()),
+                    },
+                    QuarantinedInstance {
+                        n,
+                        index: 7,
+                        rng_seed: instance_seed(seed, n, 7),
+                        reason: QuarantineReason::Timeout { elapsed_ms: 1234 },
+                    },
+                ],
+            },
+            ShardRecord {
+                n,
+                start: 8,
+                len: 8,
+                counts: vec![8, 1, 0],
+                witnesses: Vec::new(),
+                quarantined: Vec::new(),
+            },
+        ]
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("csa_ckpt_test_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn journal_round_trips_bit_exactly() {
+        let header = "csacp1|sweep=test|seed=2017|cols=a,b,c";
+        let records = sample_records();
+        let path = temp_path("roundtrip.csacp");
+        save_journal(&path, header, &records).unwrap();
+        let loaded = load_journal(&path, header, 3).unwrap();
+        assert_eq!(loaded, records);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn header_mismatch_names_the_field() {
+        let path = temp_path("mismatch.csacp");
+        save_journal(&path, "csacp1|sweep=test|seed=2017|cols=a,b,c", &[]).unwrap();
+        let err = load_journal(&path, "csacp1|sweep=test|seed=2018|cols=a,b,c", 3).unwrap_err();
+        assert_eq!(err, CheckpointStale::Mismatch("seed=".to_string()));
+        let err = load_journal(&path, "csacpX|sweep=test|seed=2017|cols=a,b,c", 3).unwrap_err();
+        assert_eq!(err, CheckpointStale::Mismatch("csacp1".to_string()));
+        let err =
+            load_journal(&path, "csacp1|sweep=test|seed=2017|cols=a,b,c|extra=1", 3).unwrap_err();
+        assert!(matches!(err, CheckpointStale::Malformed(_)), "{err:?}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_and_corrupt_journals_are_stale() {
+        let missing = load_journal(Path::new("/nonexistent/x.csacp"), "h", 1);
+        assert_eq!(missing.unwrap_err(), CheckpointStale::Missing);
+
+        let header = "csacp1|sweep=test|cols=a";
+        let path = temp_path("corrupt.csacp");
+        for (body, needle) in [
+            ("s|4|0|8|1,2|0|0\n", "counters"),
+            ("s|4|0|8|1|1|0\n", "end of file"),
+            ("s|4|0|8|1|0|1\nq|5|zz|panic|x\n", "bad rng seed"),
+            (
+                "s|4|0|8|1|0|1\nq|5|00000000000000aa|soup|x\n",
+                "unknown quarantine kind",
+            ),
+            ("w|csaw1|whatever\n", "expected `s`"),
+        ] {
+            std::fs::write(&path, format!("{header}\n{body}")).unwrap();
+            let err = load_journal(&path, header, 1).unwrap_err();
+            let CheckpointStale::Malformed(msg) = &err else {
+                panic!("{body:?}: expected Malformed, got {err:?}");
+            };
+            assert!(msg.contains(needle), "{body:?}: {msg:?} missing {needle:?}");
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn messages_are_sanitized_for_the_journal() {
+        assert_eq!(sanitize_message("a|b\nc"), "a b c");
+        let long = "x".repeat(400);
+        let s = sanitize_message(&long);
+        assert!(s.chars().count() <= 161 && s.ends_with('…'));
+    }
+
+    #[test]
+    fn quarantine_file_lists_replay_seeds() {
+        let records = sample_records();
+        let path = write_quarantine_file("test_quarantine_checkpoint.txt", &records[0].quarantined)
+            .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let seed5 = instance_seed(2017, 4, 5);
+        assert!(content.contains(&format!("csaq1|4|5|{seed5:016x}|panic|boom at 5")));
+        assert!(content.contains("timeout|1234"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

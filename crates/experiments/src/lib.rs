@@ -28,6 +28,11 @@
 //!   benchmark instances across workers: results are bit-identical at
 //!   any thread count because every instance derives its own RNG stream
 //!   from `(seed, n, instance_index)`.
+//! * [`run_sharded_sweep`] — crash-safe streaming orchestration of the
+//!   benchmark sweeps (DESIGN.md §11): shard-granular checkpoint
+//!   journals with resume (`--checkpoint-dir` / `--resume`), and
+//!   panic/timeout quarantine recording each pathological instance
+//!   with its replayable seed instead of aborting the run.
 //! * [`SearchConfig`] — the assignment search behind each sweep's
 //!   feasibility verdicts: complete backtracking (default), the
 //!   anytime [`portfolio`](csa_core::portfolio) (DESIGN.md §8), or
@@ -69,12 +74,14 @@
 
 mod benchgen;
 mod census;
+mod checkpoint;
 mod fig2;
 mod fig4;
 mod fig5;
 mod grid;
 mod margin_cache;
 mod margins;
+mod orchestrate;
 mod parallel;
 mod period_opt;
 mod report;
@@ -84,8 +91,12 @@ mod witness;
 
 pub use benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
 pub use census::{
-    format_census, has_certificate_lie, run_census, run_census_collecting, run_census_with_threads,
-    CensusConfig, CensusRow,
+    format_census, has_certificate_lie, run_census, run_census_collecting, run_census_orchestrated,
+    run_census_with_threads, CensusConfig, CensusRow,
+};
+pub use checkpoint::{
+    journal_path, write_quarantine_file, CheckpointStale, QuarantineReason, QuarantinedInstance,
+    CHECKPOINT_TAG,
 };
 pub use fig2::{pathological_cost, run_fig2, run_fig2_with_threads, CostCurve, Fig2Config};
 pub use fig4::{run_fig4, Fig4Config, Fig4Curve};
@@ -99,18 +110,22 @@ pub use margins::{
     fresh_margin_fit, interpolated_tables, margin_tables, warm_interpolated_tables,
     warm_margin_tables, InterpSegmentRun, MarginEntry, MarginInterp, PlantMargins,
 };
-pub use parallel::{available_threads, instance_seed, parallel_map};
+pub use orchestrate::{
+    run_sharded_sweep, AggRow, InstanceOutput, OrchestratedRun, OrchestratorConfig, SweepSpec,
+    DEFAULT_SHARD_SIZE,
+};
+pub use parallel::{available_threads, instance_seed, parallel_map, parallel_map_catching};
 pub use period_opt::{
     optimize_period_grid, optimize_period_ternary, run_period_opt, PeriodChoice,
     PeriodOptComparison,
 };
 pub use report::{
-    budget_flag, csv_file_name, profile_flag, quick_flag, search_flag, task_counts_flag,
-    threads_flag, write_csv, RESULTS_DIR,
+    budget_flag, csv_file_name, orchestrator_flags, profile_flag, quick_flag, search_flag,
+    task_counts_flag, threads_flag, write_atomic, write_csv, RESULTS_DIR,
 };
 pub use search::{SearchConfig, SearchMode};
 pub use table1::{
-    format_table1, run_table1, run_table1_collecting, run_table1_with_threads, Table1Config,
-    Table1Row,
+    format_table1, run_table1, run_table1_collecting, run_table1_orchestrated,
+    run_table1_with_threads, Table1Config, Table1Row,
 };
 pub use witness::{parse_witness_corpus, write_witness_file, Witness, WitnessKind};

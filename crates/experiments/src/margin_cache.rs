@@ -35,8 +35,10 @@ pub const MARGIN_ARTIFACT_TAG: &str = "csamt1";
 /// Revision of the exact margin kernel's numeric path. Bump whenever a
 /// change can move any table bit (it invalidates every artifact in the
 /// field); the differential suite in `csa-control` pins the current
-/// revision against the retained references.
-const KERNEL_REVISION: u32 = 1;
+/// revision against the retained references. Checkpoint journals
+/// (`checkpoint.rs`) embed it too: a kernel change invalidates partial
+/// sweep results just as it invalidates margin tables.
+pub(crate) const KERNEL_REVISION: u32 = 1;
 
 /// File name of the artifact inside the cache directory.
 const ARTIFACT_FILE: &str = "margin_tables.csamt";
@@ -212,6 +214,10 @@ fn push_f64(out: &mut String, v: f64) {
 /// Serializes the margin tables and interpolants to `path` (creating
 /// parent directories), bit-losslessly.
 ///
+/// The write is atomic ([`crate::write_atomic`]): a crash mid-write can
+/// never leave a torn `csamt1` file — previously a partial write was
+/// only caught if the truncation happened to break header parsing.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
@@ -260,10 +266,7 @@ pub fn save_margin_artifact(
             }
         }
     }
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    std::fs::write(path, out)
+    crate::report::write_atomic(path, &out)
 }
 
 /// Line cursor over the artifact's content lines (blanks and `#`

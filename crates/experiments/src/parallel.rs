@@ -93,6 +93,53 @@ where
         .collect()
 }
 
+/// Best-effort extraction of a panic payload's message (the `&str` or
+/// `String` forms `panic!` produces); anything else is reported opaquely.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`parallel_map`] with per-index panic isolation: a worker panic is
+/// caught and stored as that index's `Err` (carrying the panic message)
+/// instead of poisoning the whole scope — one pathological instance can
+/// no longer kill a multi-hour sweep. Every other index still completes,
+/// and the ordering/determinism contract of [`parallel_map`] is
+/// unchanged.
+///
+/// The sweep orchestrator (`orchestrate.rs`) routes every shard through
+/// this variant and records `Err` slots as quarantined instances with
+/// their replay seeds (DESIGN.md §11).
+///
+/// # Examples
+///
+/// ```
+/// use csa_experiments::parallel_map_catching;
+///
+/// let out = parallel_map_catching(4, 2, |i| {
+///     if i == 2 { panic!("bad instance"); }
+///     i * 10
+/// });
+/// assert_eq!(out[0], Ok(0));
+/// assert_eq!(out[3], Ok(30));
+/// assert_eq!(out[2].as_ref().unwrap_err(), "bad instance");
+/// ```
+pub fn parallel_map_catching<T, F>(count: usize, threads: usize, job: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map(count, threads, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
+}
+
 /// Derives the RNG seed of one benchmark instance from the sweep's base
 /// seed, the task count `n`, and the instance index.
 ///
@@ -158,6 +205,25 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 5 * 10_000, "seed collision inside a sweep");
+    }
+
+    #[test]
+    fn catching_map_isolates_panics_per_index() {
+        for threads in [1, 4] {
+            let out = parallel_map_catching(8, threads, |i| {
+                if i % 3 == 2 {
+                    panic!("boom {i}");
+                }
+                i + 100
+            });
+            for (i, slot) in out.iter().enumerate() {
+                if i % 3 == 2 {
+                    assert_eq!(slot.as_ref().unwrap_err(), &format!("boom {i}"));
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i + 100));
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,42 @@ use std::path::{Path, PathBuf};
 /// relative to the working directory.
 pub const RESULTS_DIR: &str = "results";
 
+/// Atomically replaces the file at `path` with `content`: the bytes are
+/// written to a `.tmp` sibling in the same directory, fsynced, and
+/// renamed over the target. A crash at any instant leaves either the
+/// previous complete file or the new complete file — never a torn one
+/// that parses as a truncated-but-plausible result. Every artifact
+/// writer in this crate (CSV reports, witness files, the margin-table
+/// artifact, checkpoint journals) goes through this helper.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including creating parent directories).
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    // The tmp file must live in the target's directory: rename(2) is
+    // only atomic within one filesystem.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        // Flush to stable storage before the rename publishes the file:
+        // otherwise a power loss could rename an empty inode into place.
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
 /// Writes a CSV file under [`RESULTS_DIR`], creating the directory if
 /// needed. Returns the full path.
+///
+/// The write is atomic ([`write_atomic`]): an interrupted run can never
+/// leave a half-written CSV that looks like a complete result.
 ///
 /// # Errors
 ///
@@ -19,14 +53,15 @@ pub fn write_csv(
     header: &str,
     rows: impl IntoIterator<Item = String>,
 ) -> std::io::Result<PathBuf> {
-    let dir = Path::new(RESULTS_DIR);
-    fs::create_dir_all(dir)?;
-    let path = dir.join(file_name);
-    let mut f = fs::File::create(&path)?;
-    writeln!(f, "{header}")?;
+    let path = Path::new(RESULTS_DIR).join(file_name);
+    let mut content = String::with_capacity(256);
+    content.push_str(header);
+    content.push('\n');
     for row in rows {
-        writeln!(f, "{row}")?;
+        content.push_str(&row);
+        content.push('\n');
     }
+    write_atomic(&path, &content)?;
     Ok(path)
 }
 
@@ -185,6 +220,90 @@ fn parse_budget(args: impl Iterator<Item = String>) -> Result<u64, String> {
         }
     }
     Ok(u64::MAX)
+}
+
+/// Parses the checkpoint flags used by the resumable sweeps (`table1`,
+/// `census`): `--checkpoint-dir PATH` selects the journal directory,
+/// `--resume` replays a compatible journal found there (skipping
+/// completed shards), `--shard-size N` overrides the instances-per-shard
+/// granularity, `--instance-timeout MS` quarantines instances whose
+/// evaluation exceeded the limit, and `--reservoir N` caps the witness
+/// sample kept per shard. Returns the assembled
+/// [`OrchestratorConfig`](crate::OrchestratorConfig); aborts on
+/// malformed values or on `--resume` without `--checkpoint-dir` (a
+/// resume with nowhere to resume from would silently recompute).
+pub fn orchestrator_flags() -> crate::OrchestratorConfig {
+    match parse_orchestrator(std::env::args()) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_orchestrator(
+    args: impl Iterator<Item = String>,
+) -> Result<crate::OrchestratorConfig, String> {
+    let args: Vec<String> = args.collect();
+    let value_of = |flag: &str| -> Option<&str> {
+        let eq = format!("{flag}=");
+        for (i, a) in args.iter().enumerate() {
+            if a == flag {
+                // A missing value reads as empty and fails the parse.
+                return Some(args.get(i + 1).map(String::as_str).unwrap_or(""));
+            }
+            if let Some(v) = a.strip_prefix(&eq) {
+                return Some(v);
+            }
+        }
+        None
+    };
+    let mut cfg = crate::OrchestratorConfig::in_memory();
+    cfg.checkpoint_dir = value_of("--checkpoint-dir")
+        .map(|v| {
+            if v.is_empty() {
+                Err("bad --checkpoint-dir value: expected a directory path".to_string())
+            } else {
+                Ok(PathBuf::from(v))
+            }
+        })
+        .transpose()?;
+    cfg.resume = args.iter().any(|a| a == "--resume");
+    if cfg.resume && cfg.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".to_string());
+    }
+    if let Some(v) = value_of("--shard-size") {
+        cfg.shard_size = match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                return Err(format!(
+                    "bad --shard-size value {v:?}; expected a positive integer"
+                ))
+            }
+        };
+    }
+    if let Some(v) = value_of("--instance-timeout") {
+        cfg.instance_timeout_ms = match v.parse::<u64>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                return Err(format!(
+                    "bad --instance-timeout value {v:?}; expected a positive integer (milliseconds)"
+                ))
+            }
+        };
+    }
+    if let Some(v) = value_of("--reservoir") {
+        cfg.reservoir = match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Err(format!(
+                    "bad --reservoir value {v:?}; expected a witness count (0 keeps none)"
+                ))
+            }
+        };
+    }
+    Ok(cfg)
 }
 
 /// Builds the CSV file name for a benchmark-driven sweep: the base name,
@@ -353,6 +472,54 @@ mod tests {
         assert_eq!(parse(&["bin", "--threads", "0"]), default);
         assert_eq!(parse(&["bin", "--threads", "soup"]), default);
         assert_eq!(parse(&["bin", "--threads"]), default);
+    }
+
+    #[test]
+    fn orchestrator_flag_parsing() {
+        let parse = |args: &[&str]| parse_orchestrator(args.iter().map(|s| s.to_string()));
+        let default = parse(&["bin"]).unwrap();
+        assert_eq!(default, crate::OrchestratorConfig::in_memory());
+        let full = parse(&[
+            "bin",
+            "--checkpoint-dir",
+            "ckpt",
+            "--resume",
+            "--shard-size=64",
+            "--instance-timeout",
+            "500",
+            "--reservoir=16",
+        ])
+        .unwrap();
+        assert_eq!(full.checkpoint_dir.as_deref(), Some(Path::new("ckpt")));
+        assert!(full.resume);
+        assert_eq!(full.shard_size, 64);
+        assert_eq!(full.instance_timeout_ms, Some(500));
+        assert_eq!(full.reservoir, 16);
+        // A zero-capacity reservoir is allowed (keep no witnesses).
+        assert_eq!(parse(&["bin", "--reservoir", "0"]).unwrap().reservoir, 0);
+        for bad in [
+            &["bin", "--resume"][..],
+            &["bin", "--checkpoint-dir"][..],
+            &["bin", "--shard-size", "0"][..],
+            &["bin", "--shard-size", "soup"][..],
+            &["bin", "--instance-timeout", "0"][..],
+            &["bin", "--reservoir", "soup"][..],
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let path = Path::new(RESULTS_DIR).join("test_write_atomic.txt");
+        write_atomic(&path, "first\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first\n");
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists(), "tmp file must not survive");
+        fs::remove_file(path).unwrap();
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //! replayable [`Witness`].
 
 use crate::benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
-use crate::parallel::{instance_seed, parallel_map};
+use crate::orchestrate::{
+    run_sharded_sweep, AggRow, InstanceOutput, OrchestratedRun, OrchestratorConfig, SweepSpec,
+};
 use crate::search::SearchConfig;
 use crate::witness::{Witness, WitnessKind};
-use csa_core::{is_valid_assignment, unsafe_quadratic, ControlTask};
+use csa_core::{is_valid_assignment, unsafe_quadratic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -96,13 +98,17 @@ pub struct Table1Row {
     /// The configured search exhausted its budget without deciding
     /// (always 0 for unbudgeted searches; "unknown", not "infeasible").
     pub truncated: usize,
+    /// Benchmarks quarantined by the orchestrator (panic or timeout;
+    /// see DESIGN.md §11) and excluded from every other counter.
+    pub quarantined: usize,
 }
 
 impl Table1Row {
     /// Invalid solutions as a percentage of produced solutions — the
-    /// quantity the paper tabulates.
+    /// quantity the paper tabulates. Quarantined instances produced no
+    /// verdict at all, so they drop out of the denominator.
     pub fn invalid_pct(&self) -> f64 {
-        let produced = self.benchmarks - self.no_solution;
+        let produced = self.benchmarks - self.no_solution - self.quarantined;
         if produced == 0 {
             0.0
         } else {
@@ -111,16 +117,69 @@ impl Table1Row {
     }
 }
 
-/// Per-instance outcome, folded into a [`Table1Row`] in index order.
-/// `invalid_tasks` carries the task set only for the rare invalid
-/// instances, so the sweep stays allocation-light.
-#[derive(Debug, Clone)]
-struct InstanceOutcome {
-    invalid: bool,
-    no_solution: bool,
-    solved: bool,
-    truncated: bool,
-    invalid_tasks: Option<Vec<ControlTask>>,
+/// Counter columns of the Table I sweep, in journal/CSV order.
+const TABLE1_COLUMNS: &[&str] = &["invalid", "no_solution", "solved", "truncated"];
+
+/// Evaluates one benchmark instance of the Table I sweep.
+fn table1_instance(config: &Table1Config, n: usize, k: usize, rng_seed: u64) -> InstanceOutput {
+    let bench_cfg = BenchmarkConfig::with_model(n, config.profile);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let tasks = generate_benchmark(&bench_cfg, &mut rng);
+    let (invalid, no_solution) = match unsafe_quadratic(&tasks).assignment {
+        Some(pa) => (!is_valid_assignment(&tasks, &pa), false),
+        None => (false, true),
+    };
+    let search = config.search.solve(&tasks);
+    let witnesses = if invalid {
+        vec![Witness {
+            kind: WitnessKind::UnsafeInvalid,
+            profile: config.profile,
+            seed: config.seed,
+            n,
+            index: k,
+            tasks,
+        }]
+    } else {
+        Vec::new()
+    };
+    InstanceOutput {
+        counts: vec![
+            u64::from(invalid),
+            u64::from(no_solution),
+            u64::from(search.assignment.is_some()),
+            u64::from(search.stats.truncated),
+        ],
+        witnesses,
+    }
+}
+
+/// The sweep descriptor fingerprinting everything the Table I rows are
+/// a function of.
+fn table1_spec(config: &Table1Config) -> SweepSpec {
+    SweepSpec {
+        name: "table1",
+        columns: TABLE1_COLUMNS,
+        seed: config.seed,
+        task_counts: config.task_counts.clone(),
+        benchmarks: config.benchmarks,
+        config: vec![
+            ("profile", config.profile.name().to_string()),
+            ("search", config.search.mode.name().to_string()),
+            ("budget", config.search.budget.to_string()),
+        ],
+    }
+}
+
+fn agg_to_table1_row(agg: AggRow) -> Table1Row {
+    Table1Row {
+        n: agg.n,
+        benchmarks: agg.benchmarks,
+        invalid: agg.counts[0] as usize,
+        no_solution: agg.counts[1] as usize,
+        solved: agg.counts[2] as usize,
+        truncated: agg.counts[3] as usize,
+        quarantined: agg.quarantined as usize,
+    }
 }
 
 /// Runs the Table I experiment single-threaded (see
@@ -150,7 +209,8 @@ pub fn run_table1(config: &Table1Config) -> Vec<Table1Row> {
 /// (0 = available parallelism).
 ///
 /// Every benchmark instance draws its generator from
-/// [`instance_seed`]`(config.seed, n, index)`, so the rows are
+/// [`instance_seed`](crate::instance_seed)`(config.seed, n, index)`,
+/// so the rows are
 /// **bit-identical at any thread count** — the sweep is a pure function
 /// of the configuration.
 pub fn run_table1_with_threads(config: &Table1Config, threads: usize) -> Vec<Table1Row> {
@@ -159,60 +219,39 @@ pub fn run_table1_with_threads(config: &Table1Config, threads: usize) -> Vec<Tab
 
 /// [`run_table1_with_threads`], additionally returning a replayable
 /// [`Witness`] for every invalid instance found, ordered by `(n, index)`.
+///
+/// Streams through the sharded orchestrator with checkpointing disabled
+/// — only one shard of per-instance results is ever in memory.
 pub fn run_table1_collecting(
     config: &Table1Config,
     threads: usize,
 ) -> (Vec<Table1Row>, Vec<Witness>) {
-    let mut witnesses = Vec::new();
-    let rows = config
-        .task_counts
-        .iter()
-        .map(|&n| {
-            let bench_cfg = BenchmarkConfig::with_model(n, config.profile);
-            let outcomes = parallel_map(config.benchmarks, threads, |k| {
-                let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, n, k));
-                let tasks = generate_benchmark(&bench_cfg, &mut rng);
-                let (invalid, no_solution) = match unsafe_quadratic(&tasks).assignment {
-                    Some(pa) => (!is_valid_assignment(&tasks, &pa), false),
-                    None => (false, true),
-                };
-                let search = config.search.solve(&tasks);
-                InstanceOutcome {
-                    invalid,
-                    no_solution,
-                    solved: search.assignment.is_some(),
-                    truncated: search.stats.truncated,
-                    invalid_tasks: invalid.then_some(tasks),
-                }
-            });
-            let mut row = Table1Row {
-                n,
-                benchmarks: config.benchmarks,
-                invalid: 0,
-                no_solution: 0,
-                solved: 0,
-                truncated: 0,
-            };
-            for (k, o) in outcomes.into_iter().enumerate() {
-                row.invalid += usize::from(o.invalid);
-                row.no_solution += usize::from(o.no_solution);
-                row.solved += usize::from(o.solved);
-                row.truncated += usize::from(o.truncated);
-                if let Some(tasks) = o.invalid_tasks {
-                    witnesses.push(Witness {
-                        kind: WitnessKind::UnsafeInvalid,
-                        profile: config.profile,
-                        seed: config.seed,
-                        n,
-                        index: k,
-                        tasks,
-                    });
-                }
-            }
-            row
-        })
-        .collect();
-    (rows, witnesses)
+    let run = run_table1_orchestrated(config, &OrchestratorConfig::in_memory(), threads)
+        .expect("in-memory sweep performs no I/O");
+    (run.rows, run.witnesses)
+}
+
+/// Runs the Table I sweep under full orchestration: streaming shards,
+/// optional checkpoint/resume, and panic/timeout quarantine (see
+/// [`run_sharded_sweep`] and DESIGN.md §11). With a checkpoint
+/// directory and `resume`, a killed run continues where it stopped and
+/// the final rows and witnesses are bit-identical to an uninterrupted
+/// run at any thread count.
+///
+/// # Errors
+///
+/// Propagates checkpoint-journal write failures; an in-memory
+/// configuration cannot fail.
+pub fn run_table1_orchestrated(
+    config: &Table1Config,
+    orch: &OrchestratorConfig,
+    threads: usize,
+) -> std::io::Result<OrchestratedRun<Table1Row>> {
+    let spec = table1_spec(config);
+    let run = run_sharded_sweep(&spec, orch, threads, |n, k, rng_seed| {
+        table1_instance(config, n, k, rng_seed)
+    })?;
+    Ok(run.map_rows(agg_to_table1_row))
 }
 
 /// Formats the rows in the layout of the paper's Table I (plus the
@@ -260,6 +299,13 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         );
     }
     let _ = writeln!(out);
+    if rows.iter().any(|r| r.quarantined > 0) {
+        let _ = write!(out, "{:<28}", "Quarantined (#)");
+        for r in rows {
+            let _ = write!(out, "{:>9}", r.quarantined);
+        }
+        let _ = writeln!(out);
+    }
     out
 }
 
@@ -341,14 +387,22 @@ mod tests {
             no_solution: 10,
             solved: 95,
             truncated: 2,
+            quarantined: 3,
         }];
         let s = format_table1(&rows);
         assert!(s.contains("Invalid solutions"));
         assert!(s.contains("Search truncated"));
-        assert!(s.contains("1.11")); // 1/90
+        assert!(s.contains("Quarantined"));
+        assert!(s.contains("1.15")); // 1/87: quarantined leave the denominator
         assert!(s.contains("10.00"));
         assert!(s.contains("95.00"));
         assert!(s.contains("2.00"));
+        // The quarantine row only appears when something was quarantined.
+        let clean = vec![Table1Row {
+            quarantined: 0,
+            ..rows[0]
+        }];
+        assert!(!format_table1(&clean).contains("Quarantined"));
     }
 
     #[test]
@@ -404,6 +458,31 @@ mod tests {
         assert_eq!(rows[0].solved, 0);
         assert_eq!(rows[0].truncated, rows[0].benchmarks);
         assert_eq!(rows, run_table1_with_threads(&cfg, 3));
+    }
+
+    #[test]
+    fn orchestrated_checkpoint_roundtrip_matches_in_memory() {
+        // A checkpointed run must produce the exact rows and witnesses
+        // of the plain in-memory sweep, and a follow-up resume must
+        // replay every shard without recomputing anything.
+        let dir = std::env::temp_dir().join(format!("csa_table1_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = base_cfg();
+        let orch = OrchestratorConfig {
+            shard_size: 50,
+            ..OrchestratorConfig::checkpointed(&dir)
+        };
+        let first = run_table1_orchestrated(&cfg, &orch, 2).unwrap();
+        assert_eq!(first.shards_computed, 6); // ceil(120/50) per task count
+        let (rows, wits) = run_table1_collecting(&cfg, 1);
+        assert_eq!(first.rows, rows);
+        assert_eq!(first.witnesses, wits);
+        let resumed = run_table1_orchestrated(&cfg, &orch, 4).unwrap();
+        assert_eq!(resumed.shards_computed, 0);
+        assert_eq!(resumed.shards_resumed, 6);
+        assert_eq!(resumed.rows, rows);
+        assert_eq!(resumed.witnesses, wits);
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

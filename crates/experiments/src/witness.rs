@@ -222,23 +222,23 @@ pub fn parse_witness_corpus(content: &str) -> Result<Vec<Witness>, String> {
 /// Writes witnesses to `results/<file_name>`, one line each with a
 /// header comment, and returns the full path.
 ///
+/// The write is atomic ([`crate::write_atomic`]): an interrupted sweep
+/// can never leave a truncated witness file that parses cleanly.
+///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn write_witness_file(file_name: &str, witnesses: &[Witness]) -> std::io::Result<PathBuf> {
-    use std::io::Write as _;
-    let dir = Path::new(RESULTS_DIR);
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(file_name);
-    let mut f = std::fs::File::create(&path)?;
-    writeln!(
-        f,
-        "# {} witness line(s); format: {WITNESS_TAG}|kind|profile|seed|n|index|label:cb:cw:T:a_bits:b_bits;...",
+    let path = Path::new(RESULTS_DIR).join(file_name);
+    let mut content = format!(
+        "# {} witness line(s); format: {WITNESS_TAG}|kind|profile|seed|n|index|label:cb:cw:T:a_bits:b_bits;...\n",
         witnesses.len()
-    )?;
+    );
     for w in witnesses {
-        writeln!(f, "{}", w.to_line())?;
+        content.push_str(&w.to_line());
+        content.push('\n');
     }
+    crate::report::write_atomic(&path, &content)?;
     Ok(path)
 }
 
