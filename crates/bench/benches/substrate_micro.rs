@@ -98,7 +98,7 @@ fn bench_sim(c: &mut Criterion) {
             )
         })
         .collect();
-    let sim = Simulator::new(tasks);
+    let sim = Simulator::new(tasks).expect("unique priorities");
     group.bench_function("simulate_100k_ticks_6_tasks", |b| {
         b.iter(|| {
             let mut policy = UniformPolicy::new(3);

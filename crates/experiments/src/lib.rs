@@ -37,6 +37,12 @@
 //!   feasibility verdicts: complete backtracking (default), the
 //!   anytime [`portfolio`](csa_core::portfolio) (DESIGN.md §8), or
 //!   strict OPA, with an optional per-instance check budget.
+//! * [`run_crossval`] — executed-schedule cross-validation: corpus
+//!   witnesses and portfolio-unknown instances actually *run* over one
+//!   full hyperperiod (on a deterministic quantized replica, DESIGN.md
+//!   §12) under worst/best/uniform policies, with observed responses
+//!   checked against the analytical `[R_b, R_w]` bounds and recorded
+//!   verdicts replayed.
 //!
 //! The `table1`, `fig2`, `fig4`, `fig5`, `census` and `all` binaries wrap
 //! these with console tables and CSV output under `results/`; all accept
@@ -75,6 +81,7 @@
 mod benchgen;
 mod census;
 mod checkpoint;
+mod crossval;
 mod fig2;
 mod fig4;
 mod fig5;
@@ -97,6 +104,11 @@ pub use census::{
 pub use checkpoint::{
     journal_path, write_quarantine_file, CheckpointStale, QuarantineReason, QuarantinedInstance,
     CHECKPOINT_TAG,
+};
+pub use crossval::{
+    find_unknown_instances, quantize_replica, quantize_task, run_crossval, snap_period_pow2,
+    CrossvalConfig, CrossvalInstance, CrossvalReport, CrossvalRow, CrossvalSource, Replica,
+    DEFAULT_MANTISSA_BITS, MIN_MANTISSA_BITS,
 };
 pub use fig2::{pathological_cost, run_fig2, run_fig2_with_threads, CostCurve, Fig2Config};
 pub use fig4::{run_fig4, Fig4Config, Fig4Curve};

@@ -13,7 +13,10 @@ use std::fmt::Write as _;
 /// cells, `.` elsewhere.
 ///
 /// Tasks are listed in the order of `task_ids`; events for other ids are
-/// ignored.
+/// ignored. Truncated traces (from
+/// [`Simulator::record_trace_capped`](crate::Simulator::record_trace_capped))
+/// render gracefully: cells before the first retained event simply stay
+/// `.`, so a capped trace shows the tail of the schedule.
 ///
 /// # Panics
 ///
@@ -25,10 +28,10 @@ use std::fmt::Write as _;
 /// use csa_rta::{Task, TaskId, Ticks};
 /// use csa_sim::{render_gantt, SimTask, Simulator, WorstCasePolicy};
 ///
-/// # fn main() -> Result<(), csa_rta::InvalidTask> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let hi = SimTask::new(Task::with_fixed_execution(TaskId::new(0), Ticks::new(1), Ticks::new(4))?, 2);
 /// let lo = SimTask::new(Task::with_fixed_execution(TaskId::new(1), Ticks::new(2), Ticks::new(8))?, 1);
-/// let out = Simulator::new(vec![hi, lo]).record_trace(true).run(Ticks::new(16), &mut WorstCasePolicy);
+/// let out = Simulator::new(vec![hi, lo])?.record_trace(true).run(Ticks::new(16), &mut WorstCasePolicy);
 /// let chart = render_gantt(&out.trace, &[TaskId::new(0), TaskId::new(1)], Ticks::new(16), 16);
 /// assert!(chart.contains("tau_0"));
 /// # Ok(())
@@ -96,6 +99,7 @@ mod tests {
         let task =
             Task::with_fixed_execution(TaskId::new(0), Ticks::new(2), Ticks::new(4)).unwrap();
         let out = Simulator::new(vec![SimTask::new(task, 1)])
+            .unwrap()
             .record_trace(true)
             .run(Ticks::new(8), &mut WorstCasePolicy);
         let chart = render_gantt(&out.trace, &[TaskId::new(0)], Ticks::new(8), 8);
@@ -104,10 +108,28 @@ mod tests {
     }
 
     #[test]
+    fn truncated_trace_renders_tail_only() {
+        // Same schedule, but keep only the last few events: the early
+        // cells degrade to idle instead of breaking the renderer.
+        let task =
+            Task::with_fixed_execution(TaskId::new(0), Ticks::new(2), Ticks::new(4)).unwrap();
+        let out = Simulator::new(vec![SimTask::new(task, 1)])
+            .unwrap()
+            .record_trace_capped(2)
+            .run(Ticks::new(8), &mut WorstCasePolicy);
+        assert!(out.trace_dropped > 0);
+        let chart = render_gantt(&out.trace, &[TaskId::new(0)], Ticks::new(8), 8);
+        let row = chart.lines().next().unwrap();
+        // Only the second job's run slice (cells 4-5) survives the cap.
+        assert!(row.contains("....##.."), "chart row: {row}");
+    }
+
+    #[test]
     fn preemption_is_visible() {
         let hi = Task::with_fixed_execution(TaskId::new(0), Ticks::new(2), Ticks::new(8)).unwrap();
         let lo = Task::with_fixed_execution(TaskId::new(1), Ticks::new(9), Ticks::new(16)).unwrap();
         let out = Simulator::new(vec![SimTask::new(hi, 2), SimTask::new(lo, 1)])
+            .unwrap()
             .record_trace(true)
             .run(Ticks::new(16), &mut WorstCasePolicy);
         let chart = render_gantt(

@@ -12,18 +12,26 @@
 //! 2. **Demonstration** — the examples animate the anomalies on concrete
 //!    schedules (observed latency/jitter per task, schedule traces).
 //!
+//! Since PR 8 the hot loop is an **event-queue core** (DESIGN.md §12):
+//! a flipped-`Ord` binary-heap release queue plus a priority-bitmap ready
+//! index make each scheduling event O(log n) instead of three O(n)
+//! scans, which is what lets the `crossval` experiment execute witnesses
+//! over full hyperperiods. The original scan loop survives as
+//! [`reference::run`], pinned bit-identical by a differential proptest
+//! suite.
+//!
 //! # Example
 //!
 //! ```
 //! use csa_rta::{Task, TaskId, Ticks};
 //! use csa_sim::{Simulator, SimTask, UniformPolicy};
 //!
-//! # fn main() -> Result<(), csa_rta::InvalidTask> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let tasks = vec![
 //!     SimTask::new(Task::new(TaskId::new(0), Ticks::new(1), Ticks::new(2), Ticks::new(10))?, 2),
 //!     SimTask::new(Task::new(TaskId::new(1), Ticks::new(3), Ticks::new(5), Ticks::new(25))?, 1),
 //! ];
-//! let outcome = Simulator::new(tasks).run(Ticks::from_micros(1), &mut UniformPolicy::new(42));
+//! let outcome = Simulator::new(tasks)?.run(Ticks::from_micros(1), &mut UniformPolicy::new(42));
 //! for s in &outcome.stats {
 //!     println!("{}: latency {} jitter {}", s.task_id, s.observed_latency(), s.observed_jitter());
 //! }
@@ -34,12 +42,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod event_core;
 mod gantt;
 mod policy;
+pub mod reference;
 mod simulator;
 
 pub use gantt::render_gantt;
 pub use policy::{
     AlternatingPolicy, BestCasePolicy, ExecutionPolicy, UniformPolicy, WorstCasePolicy,
 };
-pub use simulator::{ResponseStats, SimOutcome, SimTask, Simulator, TraceEvent};
+pub use simulator::{ResponseStats, SimError, SimOutcome, SimTask, Simulator, TraceEvent};

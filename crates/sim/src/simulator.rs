@@ -1,10 +1,17 @@
-//! Event-driven fixed-priority preemptive uniprocessor simulation.
+//! Simulator types and the public fixed-priority simulation API.
 //!
 //! The simulator advances exact integer time between two kinds of events —
 //! job releases and job completions — always running the highest-priority
 //! ready job, preempting instantly on releases. It validates the analytical
 //! response-time bounds from `csa-rta` and provides observed
 //! latency/jitter for the examples.
+//!
+//! [`Simulator::run`] executes on the event-queue core (`event_core.rs`,
+//! DESIGN.md §12): a flipped-`Ord` binary-heap release queue plus a
+//! priority-indexed ready structure, so each scheduling event costs
+//! O(log n) instead of three O(n) scans. The original scan-based loop is
+//! retained verbatim as [`crate::reference::run`] and pinned bit-identical
+//! by the differential proptest suite (`tests/differential.rs`).
 
 use crate::policy::ExecutionPolicy;
 use csa_rta::{Task, TaskId, Ticks};
@@ -56,6 +63,12 @@ pub struct ResponseStats {
     pub total: Ticks,
     /// Number of jobs that finished after their implicit deadline.
     pub deadline_misses: u64,
+    /// Jobs released before the horizon but still unfinished at it.
+    ///
+    /// These contribute no response-time statistics, but hyperperiod-scale
+    /// runs need the honest completion denominator `completed + in_flight`
+    /// (mirroring the sweep orchestrator's quarantined-count convention).
+    pub in_flight: u64,
 }
 
 impl ResponseStats {
@@ -110,12 +123,17 @@ pub enum TraceEvent {
 }
 
 /// Result of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimOutcome {
     /// Per-task statistics, in the order tasks were supplied.
     pub stats: Vec<ResponseStats>,
     /// Recorded trace (empty unless tracing was enabled).
+    ///
+    /// With [`Simulator::record_trace_capped`] this holds the *last*
+    /// `cap` events in order; `trace_dropped` counts the evicted prefix.
     pub trace: Vec<TraceEvent>,
+    /// Events evicted from a capped trace (0 for uncapped traces).
+    pub trace_dropped: u64,
     /// Time at which the simulation stopped.
     pub horizon: Ticks,
 }
@@ -127,12 +145,109 @@ impl SimOutcome {
     }
 }
 
-/// An active job in the ready queue.
-#[derive(Debug, Clone, Copy)]
-struct Job {
-    task_index: usize,
-    release: Ticks,
-    remaining: Ticks,
+/// Why a [`Simulator`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The task set was empty.
+    EmptyTaskSet,
+    /// Two tasks share a priority, making the schedule ambiguous.
+    DuplicatePriority {
+        /// The shared priority value.
+        priority: u32,
+        /// One of the tasks carrying it.
+        first: TaskId,
+        /// Another task carrying it.
+        second: TaskId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SimError::EmptyTaskSet => write!(f, "need at least one task"),
+            SimError::DuplicatePriority {
+                priority,
+                first,
+                second,
+            } => write!(
+                f,
+                "priorities must be unique: {first} and {second} both have priority {priority}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Trace collector shared by the event core and the reference loop, so
+/// capped-trace truncation is bit-identical in both by construction.
+#[derive(Debug)]
+pub(crate) struct TraceSink {
+    enabled: bool,
+    cap: Option<usize>,
+    buf: Vec<TraceEvent>,
+    /// Ring start once `buf` reached the cap (oldest retained event).
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    pub(crate) fn new(enabled: bool, cap: Option<usize>) -> Self {
+        TraceSink {
+            enabled,
+            cap,
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        match self.cap {
+            Some(0) => self.dropped += 1,
+            Some(cap) if self.buf.len() == cap => {
+                self.buf[self.head] = event;
+                self.head = (self.head + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.buf.push(event),
+        }
+    }
+
+    /// Returns the retained events in chronological order plus the count
+    /// of evicted ones.
+    pub(crate) fn finish(mut self) -> (Vec<TraceEvent>, u64) {
+        self.buf.rotate_left(self.head);
+        (self.buf, self.dropped)
+    }
+}
+
+/// Fresh per-run statistics rows, one per task in supplied order.
+pub(crate) fn init_stats(tasks: &[SimTask]) -> Vec<ResponseStats> {
+    tasks
+        .iter()
+        .map(|t| ResponseStats {
+            task_id: t.task.id(),
+            completed: 0,
+            min: Ticks::MAX,
+            max: Ticks::ZERO,
+            total: Ticks::ZERO,
+            deadline_misses: 0,
+            in_flight: 0,
+        })
+        .collect()
+}
+
+/// Normalizes empty statistics rows (min stays MAX if nothing completed).
+pub(crate) fn finalize_stats(stats: &mut [ResponseStats]) {
+    for s in stats {
+        if s.completed == 0 {
+            s.min = Ticks::ZERO;
+        }
+    }
 }
 
 /// Fixed-priority preemptive simulator.
@@ -143,10 +258,10 @@ struct Job {
 /// use csa_rta::{Task, TaskId, Ticks};
 /// use csa_sim::{Simulator, SimTask, WorstCasePolicy};
 ///
-/// # fn main() -> Result<(), csa_rta::InvalidTask> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let hi = SimTask::new(Task::with_fixed_execution(TaskId::new(0), Ticks::new(1), Ticks::new(4))?, 2);
 /// let lo = SimTask::new(Task::with_fixed_execution(TaskId::new(1), Ticks::new(2), Ticks::new(10))?, 1);
-/// let outcome = Simulator::new(vec![hi, lo])
+/// let outcome = Simulator::new(vec![hi, lo])?
 ///     .run(Ticks::new(40), &mut WorstCasePolicy);
 /// // The low-priority task's first job sees one preemption: response 3.
 /// assert_eq!(outcome.stats[1].max, Ticks::new(3));
@@ -155,174 +270,100 @@ struct Job {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    tasks: Vec<SimTask>,
-    record_trace: bool,
+    pub(crate) tasks: Vec<SimTask>,
+    pub(crate) record_trace: bool,
+    pub(crate) trace_cap: Option<usize>,
+    /// `rank_of[i]` = priority rank of task `i` (0 = lowest priority,
+    /// `n - 1` = highest); the key used by the event core's ready index.
+    pub(crate) rank_of: Vec<usize>,
+    /// Inverse of `rank_of`: the task index holding each rank.
+    pub(crate) task_at_rank: Vec<usize>,
 }
 
 impl Simulator {
     /// Creates a simulator over the given prioritized tasks.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if two tasks share a priority (the schedule would be
-    /// ambiguous) or if `tasks` is empty.
-    pub fn new(tasks: Vec<SimTask>) -> Self {
-        assert!(!tasks.is_empty(), "need at least one task");
-        for (i, a) in tasks.iter().enumerate() {
-            for b in &tasks[i + 1..] {
-                assert_ne!(
-                    a.priority,
-                    b.priority,
-                    "priorities must be unique ({} vs {})",
-                    a.task.id(),
-                    b.task.id()
-                );
+    /// Returns [`SimError::EmptyTaskSet`] for an empty slice and
+    /// [`SimError::DuplicatePriority`] when two tasks share a priority
+    /// (the schedule would be ambiguous). Detection sorts the priorities
+    /// once — O(n log n) instead of the earlier all-pairs scan — and the
+    /// same sorted order seeds the event core's priority ranks.
+    pub fn new(tasks: Vec<SimTask>) -> Result<Self, SimError> {
+        if tasks.is_empty() {
+            return Err(SimError::EmptyTaskSet);
+        }
+        let n = tasks.len();
+        let mut task_at_rank: Vec<usize> = (0..n).collect();
+        // Stable by priority; ties would be adjacent after the sort.
+        task_at_rank.sort_by_key(|&i| tasks[i].priority);
+        for pair in task_at_rank.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if tasks[a].priority == tasks[b].priority {
+                return Err(SimError::DuplicatePriority {
+                    priority: tasks[a].priority,
+                    first: tasks[a].task.id(),
+                    second: tasks[b].task.id(),
+                });
             }
         }
-        Simulator {
+        let mut rank_of = vec![0usize; n];
+        for (rank, &i) in task_at_rank.iter().enumerate() {
+            rank_of[i] = rank;
+        }
+        Ok(Simulator {
             tasks,
             record_trace: false,
-        }
+            trace_cap: None,
+            rank_of,
+            task_at_rank,
+        })
     }
 
-    /// Enables trace recording (releases, execution slices, completions).
+    /// Enables trace recording (releases, execution slices, completions)
+    /// with an unbounded buffer.
     pub fn record_trace(mut self, enable: bool) -> Self {
         self.record_trace = enable;
+        self.trace_cap = None;
         self
+    }
+
+    /// Enables trace recording bounded to the most recent `cap` events.
+    ///
+    /// Long-horizon runs stay bounded-memory: once `cap` events have been
+    /// recorded the oldest are evicted ring-buffer style, and
+    /// [`SimOutcome::trace_dropped`] reports how many were lost. A `cap`
+    /// of 0 records nothing but still counts the events it would have
+    /// kept.
+    pub fn record_trace_capped(mut self, cap: usize) -> Self {
+        self.record_trace = true;
+        self.trace_cap = Some(cap);
+        self
+    }
+
+    pub(crate) fn trace_sink(&self) -> TraceSink {
+        TraceSink::new(self.record_trace, self.trace_cap)
     }
 
     /// Runs the simulation until `horizon`, drawing execution times from
     /// `policy`.
     ///
-    /// Jobs released before the horizon but unfinished at it are discarded
-    /// (they do not contribute statistics). Deadline misses do not abort
-    /// the job — the overrunning job keeps executing at its priority and
-    /// the miss is counted, letting over-utilized sets run to the horizon.
+    /// Jobs released before the horizon but unfinished at it contribute no
+    /// response-time statistics; they are counted per task in
+    /// [`ResponseStats::in_flight`]. Deadline misses do not abort the job
+    /// — the overrunning job keeps executing at its priority and the miss
+    /// is counted, letting over-utilized sets run to the horizon.
+    ///
+    /// Executes on the event-queue core; semantics (including the trace
+    /// and the order of policy calls) are bit-identical to
+    /// [`crate::reference::run`].
     pub fn run<P: ExecutionPolicy + ?Sized>(&self, horizon: Ticks, policy: &mut P) -> SimOutcome {
-        let n = self.tasks.len();
-        let mut next_release: Vec<Ticks> = self.tasks.iter().map(|t| t.offset).collect();
-        let mut job_count = vec![0u64; n];
-        let mut ready: Vec<Job> = Vec::new();
-        let mut trace = Vec::new();
-        let mut stats: Vec<ResponseStats> = self
-            .tasks
-            .iter()
-            .map(|t| ResponseStats {
-                task_id: t.task.id(),
-                completed: 0,
-                min: Ticks::MAX,
-                max: Ticks::ZERO,
-                total: Ticks::ZERO,
-                deadline_misses: 0,
-            })
-            .collect();
-
-        let mut now = Ticks::ZERO;
-        loop {
-            // Release every job due at or before `now`.
-            for i in 0..n {
-                while next_release[i] <= now && next_release[i] < horizon {
-                    let release = next_release[i];
-                    let c = self.execution_time(policy, i, job_count[i]);
-                    job_count[i] += 1;
-                    next_release[i] = release + self.tasks[i].task.period();
-                    ready.push(Job {
-                        task_index: i,
-                        release,
-                        remaining: c,
-                    });
-                    if self.record_trace {
-                        trace.push(TraceEvent::Release {
-                            at: release,
-                            task_id: self.tasks[i].task.id(),
-                        });
-                    }
-                }
-            }
-
-            // Pick the highest-priority ready job (FIFO within a task).
-            let running = ready
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, j)| {
-                    (
-                        self.tasks[j.task_index].priority,
-                        std::cmp::Reverse(j.release),
-                    )
-                })
-                .map(|(idx, _)| idx);
-
-            let next_rel = next_release.iter().copied().filter(|&r| r < horizon).min();
-
-            let Some(run_idx) = running else {
-                // Idle: jump to the next release, or stop.
-                match next_rel {
-                    Some(r) if r < horizon => {
-                        now = r;
-                        continue;
-                    }
-                    _ => break,
-                }
-            };
-
-            let job = ready[run_idx];
-            let finish_at = now + job.remaining;
-            let until = match next_rel {
-                Some(r) if r < finish_at => r,
-                _ => finish_at,
-            };
-            // Never run past the horizon.
-            let until = until.min(horizon);
-            if until > now {
-                if self.record_trace {
-                    trace.push(TraceEvent::Run {
-                        from: now,
-                        to: until,
-                        task_id: self.tasks[job.task_index].task.id(),
-                    });
-                }
-                let executed = until - now;
-                ready[run_idx].remaining -= executed;
-            }
-            if ready[run_idx].remaining.is_zero() {
-                let done = ready.swap_remove(run_idx);
-                let response = until - done.release;
-                let s = &mut stats[done.task_index];
-                s.completed += 1;
-                s.total += response;
-                s.min = s.min.min(response);
-                s.max = s.max.max(response);
-                if response > self.tasks[done.task_index].task.period() {
-                    s.deadline_misses += 1;
-                }
-                if self.record_trace {
-                    trace.push(TraceEvent::Completion {
-                        at: until,
-                        task_id: self.tasks[done.task_index].task.id(),
-                        response,
-                    });
-                }
-            }
-            if until >= horizon {
-                break;
-            }
-            now = until;
-        }
-
-        // Normalize empty stats (min stays MAX if nothing completed).
-        for s in &mut stats {
-            if s.completed == 0 {
-                s.min = Ticks::ZERO;
-            }
-        }
-        SimOutcome {
-            stats,
-            trace,
-            horizon,
-        }
+        crate::event_core::run(self, horizon, policy)
     }
 
-    fn execution_time<P: ExecutionPolicy + ?Sized>(
+    /// Draws (and clamps) the execution time for one job release.
+    pub(crate) fn execution_time<P: ExecutionPolicy + ?Sized>(
         &self,
         policy: &mut P,
         task_index: usize,
@@ -361,14 +402,19 @@ mod tests {
         .unwrap()
     }
 
+    fn sim(tasks: Vec<SimTask>) -> Simulator {
+        Simulator::new(tasks).expect("valid task set")
+    }
+
     #[test]
     fn single_task_response_is_execution_time() {
-        let sim = Simulator::new(vec![SimTask::new(t(0, 3, 10), 1)]);
+        let sim = sim(vec![SimTask::new(t(0, 3, 10), 1)]);
         let out = sim.run(Ticks::new(100), &mut WorstCasePolicy);
         assert_eq!(out.stats[0].completed, 10);
         assert_eq!(out.stats[0].min, Ticks::new(3));
         assert_eq!(out.stats[0].max, Ticks::new(3));
         assert_eq!(out.stats[0].deadline_misses, 0);
+        assert_eq!(out.stats[0].in_flight, 0);
     }
 
     #[test]
@@ -379,7 +425,7 @@ mod tests {
         // done at 12 response 2: wait hi releases at 8 runs [8,9), then
         // idle; at 10 lo released, runs [10,12), hi at 12 — lo already
         // done exactly at 12.
-        let sim = Simulator::new(vec![
+        let sim = sim(vec![
             SimTask::new(t(0, 1, 4), 2),
             SimTask::new(t(1, 2, 10), 1),
         ])
@@ -390,6 +436,7 @@ mod tests {
         assert_eq!(lo.max, Ticks::new(3));
         assert_eq!(lo.min, Ticks::new(2));
         assert!(!out.trace.is_empty());
+        assert_eq!(out.trace_dropped, 0);
     }
 
     #[test]
@@ -400,7 +447,7 @@ mod tests {
         let t2 = t(1, 2, 6);
         let t3 = t(2, 3, 10);
         let rb = response_bounds(&t3, &[t1, t2]).unwrap();
-        let sim = Simulator::new(vec![
+        let sim = sim(vec![
             SimTask::new(t1, 3),
             SimTask::new(t2, 2),
             SimTask::new(t3, 1),
@@ -415,7 +462,7 @@ mod tests {
         let t2 = tb(1, 1, 3, 13);
         let t3 = tb(2, 2, 4, 31);
         let rb3 = response_bounds(&t3, &[t1, t2]).unwrap();
-        let sim = Simulator::new(vec![
+        let sim = sim(vec![
             SimTask::new(t1, 3),
             SimTask::new(t2, 2),
             SimTask::new(t3, 1),
@@ -433,7 +480,7 @@ mod tests {
     #[test]
     fn alternating_policy_creates_jitter() {
         let task = tb(0, 2, 6, 10);
-        let sim = Simulator::new(vec![SimTask::new(task, 1)]);
+        let sim = sim(vec![SimTask::new(task, 1)]);
         let out = sim.run(Ticks::new(100), &mut AlternatingPolicy);
         assert_eq!(out.stats[0].observed_jitter(), Ticks::new(4));
         assert_eq!(out.stats[0].observed_latency(), Ticks::new(2));
@@ -442,7 +489,7 @@ mod tests {
     #[test]
     fn offset_delays_first_release() {
         let task = t(0, 1, 10);
-        let sim = Simulator::new(vec![SimTask::with_offset(task, 1, Ticks::new(5))]);
+        let sim = sim(vec![SimTask::with_offset(task, 1, Ticks::new(5))]);
         let out = sim
             .record_trace(true)
             .run(Ticks::new(30), &mut BestCasePolicy);
@@ -456,17 +503,19 @@ mod tests {
     #[test]
     fn overload_counts_deadline_misses_and_terminates() {
         // Utilization 1.25: the low-priority task must miss.
-        let sim = Simulator::new(vec![
+        let sim = sim(vec![
             SimTask::new(t(0, 3, 4), 2),
             SimTask::new(t(1, 4, 8), 1),
         ]);
         let out = sim.run(Ticks::new(200), &mut WorstCasePolicy);
         assert!(out.stats[1].deadline_misses > 0);
+        // Over-utilization leaves backlog at the horizon.
+        assert!(out.stats[1].in_flight > 0);
     }
 
     #[test]
     fn trace_slices_are_contiguous_and_ordered() {
-        let sim = Simulator::new(vec![
+        let sim = sim(vec![
             SimTask::new(t(0, 1, 3), 2),
             SimTask::new(t(1, 3, 9), 1),
         ])
@@ -493,12 +542,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "priorities must be unique")]
-    fn duplicate_priorities_panic() {
-        let _ = Simulator::new(vec![
+    fn duplicate_priorities_are_rejected() {
+        let err = Simulator::new(vec![
             SimTask::new(t(0, 1, 4), 1),
             SimTask::new(t(1, 1, 5), 1),
-        ]);
+        ])
+        .unwrap_err();
+        match err {
+            SimError::DuplicatePriority { priority, .. } => assert_eq!(priority, 1),
+            other => panic!("expected DuplicatePriority, got {other:?}"),
+        }
+        assert!(err.to_string().contains("priorities must be unique"));
+    }
+
+    #[test]
+    fn empty_task_set_is_rejected() {
+        assert_eq!(Simulator::new(vec![]).unwrap_err(), SimError::EmptyTaskSet);
     }
 
     #[test]
@@ -509,7 +568,7 @@ mod tests {
         // hi: c=3 h=4 (prio 2); lo: c=2 h=5 (prio 1).
         // Hand schedule: hi [0,3)[4,7)[8,11)[12,15); lo0 [3,4)+[7,8) done
         // at 8 (response 8); lo1 [11,12)+[15,16) done at 16 (response 11).
-        let sim = Simulator::new(vec![
+        let sim = sim(vec![
             SimTask::new(t(0, 3, 4), 2),
             SimTask::new(t(1, 2, 5), 1),
         ])
@@ -531,5 +590,47 @@ mod tests {
         assert_eq!(lo_completions[0], (Ticks::new(8), Ticks::new(8)));
         assert_eq!(lo_completions[1], (Ticks::new(16), Ticks::new(11)));
         assert_eq!(out.stats[1].deadline_misses, 2);
+    }
+
+    #[test]
+    fn capped_trace_keeps_last_events_in_order() {
+        let tasks = vec![SimTask::new(t(0, 3, 10), 1)];
+        let full = sim(tasks.clone())
+            .record_trace(true)
+            .run(Ticks::new(100), &mut WorstCasePolicy);
+        let capped = sim(tasks)
+            .record_trace_capped(7)
+            .run(Ticks::new(100), &mut WorstCasePolicy);
+        assert_eq!(capped.trace.len(), 7);
+        assert_eq!(
+            capped.trace_dropped as usize,
+            full.trace.len() - capped.trace.len()
+        );
+        // The retained suffix matches the tail of the full trace.
+        assert_eq!(capped.trace[..], full.trace[full.trace.len() - 7..]);
+        // Statistics are unaffected by the trace cap.
+        assert_eq!(capped.stats, full.stats);
+    }
+
+    #[test]
+    fn zero_capped_trace_counts_without_storing() {
+        let out = sim(vec![SimTask::new(t(0, 3, 10), 1)])
+            .record_trace_capped(0)
+            .run(Ticks::new(100), &mut WorstCasePolicy);
+        assert!(out.trace.is_empty());
+        assert_eq!(out.trace_dropped, 30); // 10 releases + 10 runs + 10 completions
+    }
+
+    #[test]
+    fn cap_larger_than_trace_drops_nothing() {
+        let tasks = vec![SimTask::new(t(0, 3, 10), 1)];
+        let full = sim(tasks.clone())
+            .record_trace(true)
+            .run(Ticks::new(100), &mut WorstCasePolicy);
+        let capped = sim(tasks)
+            .record_trace_capped(10_000)
+            .run(Ticks::new(100), &mut WorstCasePolicy);
+        assert_eq!(capped.trace, full.trace);
+        assert_eq!(capped.trace_dropped, 0);
     }
 }

@@ -50,7 +50,7 @@ proptest! {
             .map(|(i, t)| response_bounds(t, &tasks[..i]))
             .collect();
 
-        let sim = Simulator::new(sim_tasks);
+        let sim = Simulator::new(sim_tasks).expect("unique priorities");
         let horizon = Ticks::new(20_000);
         for policy_id in 0..3 {
             let out = match policy_id {
@@ -87,7 +87,7 @@ proptest! {
             .enumerate()
             .map(|(i, t)| SimTask::new(*t, (n - i) as u32))
             .collect();
-        let sim = Simulator::new(sim_tasks).record_trace(true);
+        let sim = Simulator::new(sim_tasks).expect("unique priorities").record_trace(true);
         let horizon = tasks.iter().map(|t| t.period()).max().unwrap();
         let out = sim.run(horizon, &mut WorstCasePolicy);
         for (i, t) in tasks.iter().enumerate() {
@@ -119,7 +119,7 @@ proptest! {
             .enumerate()
             .map(|(i, t)| SimTask::new(*t, (n - i) as u32))
             .collect();
-        let sim = Simulator::new(sim_tasks);
+        let sim = Simulator::new(sim_tasks).expect("unique priorities");
         let out = sim.run(Ticks::new(50_000), &mut BestCasePolicy);
         for (i, t) in tasks.iter().enumerate() {
             if let Some(rb) = response_bounds(t, &tasks[..i]) {

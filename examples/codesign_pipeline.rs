@@ -58,7 +58,7 @@ fn main() {
             .fold(0.0, f64::max)
             * 2_000.0,
     );
-    let sim = Simulator::new(sim_tasks);
+    let sim = Simulator::new(sim_tasks).expect("unique priorities");
     let out = sim.run(horizon, &mut UniformPolicy::new(42));
 
     println!(

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimTask::new(t0, 3),
         SimTask::new(t1, 2),
         SimTask::new(t2, 1),
-    ])
+    ])?
     .record_trace(true);
 
     println!("worst-case execution everywhere (the critical instant):\n");

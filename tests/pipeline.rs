@@ -77,7 +77,7 @@ fn simulation_confirms_analysis_on_generated_benchmarks() {
                 .fold(0.0, f64::max)
                 * 500.0,
         );
-        let sim = Simulator::new(sim_tasks);
+        let sim = Simulator::new(sim_tasks).expect("unique priorities");
         for policy_seed in [1u64, 2] {
             let out = sim.run(horizon, &mut UniformPolicy::new(policy_seed));
             for (i, stat) in out.stats.iter().enumerate() {
@@ -125,6 +125,7 @@ fn worst_case_policy_attains_wcrt_on_benchmark() {
     // attains its WCRT exactly.
     let horizon = tasks.iter().map(|t| t.task().period()).max().unwrap();
     let out = Simulator::new(sim_tasks)
+        .expect("unique priorities")
         .record_trace(true)
         .run(horizon, &mut WorstCasePolicy);
     for (i, t) in tasks.iter().enumerate() {
