@@ -208,9 +208,21 @@ mod tests {
     fn pendulum_pole_at_plus_one() {
         let eigs = eigenvalues(pendulum().unwrap().a()).unwrap();
         let mut res: Vec<f64> = eigs.iter().map(|e| e.re).collect();
-        res.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        res.sort_by(f64::total_cmp);
         assert!((res[0] + 1.0).abs() < 1e-9);
         assert!((res[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pole_sort_survives_nan() {
+        // Regression for the former `partial_cmp(..).unwrap()` pole
+        // sort (csa-lint F001, the margins.rs snap_to_series pattern):
+        // a NaN real part must sort deterministically, never panic.
+        let mut res = [1.0, f64::NAN, -1.0];
+        res.sort_by(f64::total_cmp);
+        assert_eq!(res[0], -1.0);
+        assert_eq!(res[1], 1.0);
+        assert!(res[2].is_nan());
     }
 
     #[test]

@@ -342,9 +342,22 @@ mod tests {
         let g = TransferFunction::new(vec![1.0], vec![1.0, 3.0, 2.0]).unwrap();
         let ss = g.to_state_space().unwrap();
         let mut poles: Vec<f64> = eigenvalues(ss.a()).unwrap().iter().map(|l| l.re).collect();
-        poles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        poles.sort_by(f64::total_cmp);
         assert!((poles[0] + 2.0).abs() < 1e-10);
         assert!((poles[1] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pole_sort_survives_nan() {
+        // Regression for the former `partial_cmp(..).unwrap()` pole
+        // sort (csa-lint F001, the margins.rs snap_to_series pattern):
+        // a NaN pole must sort deterministically, never panic.
+        let mut poles = [f64::NAN, 1.0, f64::NEG_INFINITY, -2.0];
+        poles.sort_by(f64::total_cmp);
+        assert_eq!(poles[0], f64::NEG_INFINITY);
+        assert_eq!(poles[1], -2.0);
+        assert_eq!(poles[2], 1.0);
+        assert!(poles[3].is_nan());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::fxhash::FxBuildHasher;
 use crate::stability::ControlTask;
 use csa_rta::{ResponseBounds, RtaScratch};
-use std::collections::HashMap;
+// The verdict memo below is keyed lookup only — it is never iterated,
+// so its nondeterministic order cannot leak into results.
+use std::collections::HashMap; // csa-lint: allow(D001) probed by key only, never iterated
 use std::fmt;
 
 /// A complete priority assignment over a task set, stored as priority
@@ -232,6 +234,7 @@ impl Iterator for BitIter {
 pub struct StabilityChecker<'a> {
     tasks: &'a [ControlTask],
     scratch: RtaScratch,
+    // csa-lint: allow(D001) probed by key only, never iterated
     memo: Option<HashMap<(u32, u64), TaskVerdict, FxBuildHasher>>,
     logical: u64,
     computed: u64,
@@ -241,6 +244,7 @@ impl<'a> StabilityChecker<'a> {
     /// Creates a checker over `tasks`, memoized when the set has at most
     /// [`MEMO_MAX_TASKS`] tasks.
     pub fn new(tasks: &'a [ControlTask]) -> StabilityChecker<'a> {
+        // csa-lint: allow(D001) probed by key only, never iterated
         let memo = (tasks.len() <= MEMO_MAX_TASKS).then(HashMap::default);
         StabilityChecker {
             tasks,

@@ -124,7 +124,7 @@ fn hessenberg_in(h: &mut Mat, v: &mut Vec<f64>, mut q: Option<&mut Mat>) {
 /// // Rotation by 90 degrees: eigenvalues are ±i.
 /// let a = Mat::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
 /// let mut eigs = eigenvalues(&a)?;
-/// eigs.sort_by(|x, y| x.im.partial_cmp(&y.im).unwrap());
+/// eigs.sort_by(|x, y| x.im.total_cmp(&y.im));
 /// assert!((eigs[0].im + 1.0).abs() < 1e-12);
 /// assert!((eigs[1].im - 1.0).abs() < 1e-12);
 /// # Ok(())
@@ -468,12 +468,32 @@ mod tests {
     use super::*;
 
     fn sorted_by_re_im(mut v: Vec<Cplx>) -> Vec<Cplx> {
-        v.sort_by(|a, b| {
-            a.re.partial_cmp(&b.re)
-                .unwrap()
-                .then(a.im.partial_cmp(&b.im).unwrap())
-        });
+        v.sort_by(|a, b| a.re.total_cmp(&b.re).then(a.im.total_cmp(&b.im)));
         v
+    }
+
+    #[test]
+    fn eig_sort_survives_nan() {
+        // Regression for the former `partial_cmp(..).unwrap()` sort
+        // (the NaN-unsafe pattern fixed by hand in PR 2 and PR 4, now
+        // enforced as csa-lint F001): a NaN eigenvalue must sort
+        // deterministically, never panic.
+        let v = vec![
+            Cplx::new(f64::NAN, 0.0),
+            Cplx::new(1.0, f64::NAN),
+            Cplx::new(-1.0, 2.0),
+            Cplx::new(f64::INFINITY, -2.0),
+        ];
+        let mut rev = v.clone();
+        rev.reverse();
+        let a = sorted_by_re_im(v);
+        let b = sorted_by_re_im(rev);
+        // total_cmp is a total order: both permutations sort identically.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        assert_eq!(a[0].re, -1.0);
     }
 
     fn assert_eigs_close(actual: Vec<Cplx>, expected: Vec<Cplx>, tol: f64) {

@@ -72,8 +72,8 @@ proptest! {
         let shifted = &m + &Mat::identity(4).scale(shift);
         let mut e1: Vec<f64> = eigenvalues(&m).unwrap().iter().map(|l| l.re + shift).collect();
         let mut e2: Vec<f64> = eigenvalues(&shifted).unwrap().iter().map(|l| l.re).collect();
-        e1.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        e2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        e1.sort_by(f64::total_cmp);
+        e2.sort_by(f64::total_cmp);
         for (a, b) in e1.iter().zip(&e2) {
             prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
         }

@@ -1,0 +1,202 @@
+//! The P001 panic-surface baseline: a committed, ratcheted inventory.
+//!
+//! The panic surface of the library crates cannot realistically go to
+//! zero in one PR, so P001 is not a site-by-site gate: instead the
+//! committed `crates/lint/baseline.txt` records, per file, how many
+//! panic sites are accepted today, and `--check` enforces **ratchet
+//! semantics**: a file's count may only go down. Any increase fails;
+//! any decrease also fails until the improvement is committed via
+//! `--update-baseline`, so the baseline always states the exact truth.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative location of the committed baseline.
+pub const BASELINE_REL_PATH: &str = "crates/lint/baseline.txt";
+
+const HEADER: &str = "\
+# csa-lint P001 baseline — accepted panic sites per library file.
+# Ratchet semantics: counts may only decrease. Regenerate with
+#     cargo run -p csa-lint -- --update-baseline
+# after removing unwrap/expect/panic! sites; never hand-raise a count.
+";
+
+/// Per-file accepted panic-site counts.
+pub type Counts = BTreeMap<String, usize>;
+
+/// Outcome of comparing actual counts against the committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RatchetIssue {
+    /// A file's panic count grew (or a new file appeared with one).
+    Regressed {
+        path: String,
+        baseline: usize,
+        actual: usize,
+    },
+    /// A file improved or disappeared but the baseline still records
+    /// the old count — commit the ratchet.
+    Stale {
+        path: String,
+        baseline: usize,
+        actual: usize,
+    },
+    /// No baseline file exists yet.
+    Missing,
+    /// The baseline file exists but cannot be parsed.
+    Malformed { line: String },
+}
+
+impl std::fmt::Display for RatchetIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RatchetIssue::Regressed {
+                path,
+                baseline,
+                actual,
+            } => write!(
+                f,
+                "P001 ratchet: {path} has {actual} panic sites, baseline allows {baseline} — \
+                 remove the new unwrap/expect/panic!"
+            ),
+            RatchetIssue::Stale {
+                path,
+                baseline,
+                actual,
+            } => write!(
+                f,
+                "P001 ratchet improved: {path} now has {actual} panic sites (baseline {baseline}) \
+                 — commit it with `cargo run -p csa-lint -- --update-baseline`"
+            ),
+            RatchetIssue::Missing => write!(
+                f,
+                "no baseline at {BASELINE_REL_PATH}; create it with \
+                 `cargo run -p csa-lint -- --update-baseline`"
+            ),
+            RatchetIssue::Malformed { line } => {
+                write!(f, "malformed baseline line: {line:?}")
+            }
+        }
+    }
+}
+
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join(BASELINE_REL_PATH)
+}
+
+/// Loads the committed baseline. `Ok(None)` when absent.
+pub fn load(root: &Path) -> io::Result<Option<Result<Counts, RatchetIssue>>> {
+    let path = baseline_path(root);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut counts = Counts::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = line
+            .rsplit_once(' ')
+            .and_then(|(p, c)| c.parse::<usize>().ok().map(|c| (p.to_string(), c)));
+        match parsed {
+            Some((p, c)) => {
+                counts.insert(p, c);
+            }
+            None => {
+                return Ok(Some(Err(RatchetIssue::Malformed {
+                    line: line.to_string(),
+                })))
+            }
+        }
+    }
+    Ok(Some(Ok(counts)))
+}
+
+/// Compares actual per-file counts to the baseline. Empty result means
+/// the ratchet holds exactly.
+pub fn compare(baseline: &Counts, actual: &Counts) -> Vec<RatchetIssue> {
+    let mut issues = Vec::new();
+    let paths: std::collections::BTreeSet<&String> = baseline.keys().chain(actual.keys()).collect();
+    for path in paths {
+        let b = baseline.get(path).copied().unwrap_or(0);
+        let a = actual.get(path).copied().unwrap_or(0);
+        if a > b {
+            issues.push(RatchetIssue::Regressed {
+                path: path.clone(),
+                baseline: b,
+                actual: a,
+            });
+        } else if a < b {
+            issues.push(RatchetIssue::Stale {
+                path: path.clone(),
+                baseline: b,
+                actual: a,
+            });
+        }
+    }
+    issues
+}
+
+/// Writes the baseline atomically (tmp + fsync + rename — the tool
+/// obeys the same crash-safety contract it enforces).
+pub fn save(root: &Path, actual: &Counts) -> io::Result<()> {
+    let path = baseline_path(root);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut content = String::from(HEADER);
+    for (file, count) in actual {
+        if *count > 0 {
+            content.push_str(&format!("{file} {count}\n"));
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        // csa-lint: allow(A001) this IS an atomic tmp+fsync+rename write
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratchet_flags_both_directions() {
+        let mut b = Counts::new();
+        b.insert("a.rs".into(), 3);
+        b.insert("gone.rs".into(), 1);
+        let mut a = Counts::new();
+        a.insert("a.rs".into(), 4);
+        a.insert("new.rs".into(), 2);
+        let issues = compare(&b, &a);
+        assert_eq!(issues.len(), 3);
+        assert!(matches!(
+            &issues[0],
+            RatchetIssue::Regressed { path, baseline: 3, actual: 4 } if path == "a.rs"
+        ));
+        assert!(matches!(
+            &issues[1],
+            RatchetIssue::Stale { path, baseline: 1, actual: 0 } if path == "gone.rs"
+        ));
+        assert!(matches!(
+            &issues[2],
+            RatchetIssue::Regressed { path, baseline: 0, actual: 2 } if path == "new.rs"
+        ));
+    }
+
+    #[test]
+    fn equal_counts_hold() {
+        let mut b = Counts::new();
+        b.insert("a.rs".into(), 2);
+        assert!(compare(&b, &b).is_empty());
+    }
+}

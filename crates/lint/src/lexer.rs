@@ -1,0 +1,525 @@
+//! A hand-rolled, span-accurate Rust lexer.
+//!
+//! The lint pass (DESIGN.md §13) must never fire inside non-code
+//! tokens: a `partial_cmp(..).unwrap()` quoted in a comment, a string
+//! literal, or a raw string is documentation, not a violation. The
+//! standard trick of regex-grepping source files cannot make that
+//! distinction, so this module tokenizes real Rust source — skipping
+//! comments, strings (escaped, raw, byte, C), char literals, and
+//! lifetimes correctly — and hands the analysis layer a token stream
+//! where every token carries its byte span and 1-based start line.
+//!
+//! The lexer is *lossless by span*: concatenating the spans of all
+//! emitted tokens plus the skipped whitespace reconstructs the input
+//! exactly (pinned by the round-trip property test in
+//! `tests/lexer_edge_cases.rs`). It is intentionally tolerant: input
+//! that is not valid Rust still lexes (unterminated literals extend to
+//! end of input) so the pass never panics on a half-edited file.
+
+/// The syntactic class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`partial_cmp`, `fn`, `r#match`, ...).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Character or byte-character literal (`'x'`, `'"'`, `'\''`, `b'a'`).
+    CharLit,
+    /// String-like literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`,
+    /// `br#"..."#`, `c"..."`, `cr#"..."#`.
+    StrLit,
+    /// Numeric literal (`42`, `0xff`, `1.0e-10`, `1_000u64`).
+    NumLit,
+    /// `// ...` comment; `doc` distinguishes `///` and `//!` forms.
+    LineComment,
+    /// `/* ... */` comment with nesting; `doc` marks `/**` and `/*!`.
+    BlockComment,
+    /// Any other single character (`.`, `(`, `::` is two tokens, ...).
+    Punct,
+}
+
+/// One lexed token with its exact source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: &'a str,
+    /// Byte offset of the token start in the input.
+    pub start: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+    /// For comments: whether this is a doc comment (`///`, `//!`,
+    /// `/**`, `/*!`). Always `false` for non-comment tokens.
+    pub doc: bool,
+}
+
+impl Token<'_> {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+
+    /// True for comments of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`, returning every token including comments.
+/// Whitespace is skipped (it carries no lint-relevant content) but line
+/// accounting stays exact.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances `n` bytes, counting newlines crossed.
+    fn bump(&mut self, n: usize) {
+        let end = (self.pos + n).min(self.bytes.len());
+        for &b in &self.bytes[self.pos..end] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = end;
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, start_line: u32, doc: bool) {
+        self.out.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            start,
+            line: start_line,
+            doc,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token<'a>> {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let start_line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(1),
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, start_line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, start_line),
+                b'"' => self.string(start, start_line),
+                b'\'' => self.quote(start, start_line),
+                b'r' | b'b' | b'c' if self.try_prefixed_literal(start, start_line) => {}
+                _ if is_ident_start(b as char) => self.ident(start, start_line),
+                b'0'..=b'9' => self.number(start, start_line),
+                _ => {
+                    // Single punctuation char; advance one full UTF-8
+                    // scalar so spans stay on char boundaries.
+                    let ch_len = utf8_len(b);
+                    self.bump(ch_len);
+                    self.emit(TokenKind::Punct, start, start_line, false);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, start: usize, start_line: u32) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump(1);
+        }
+        let text = &self.src[start..self.pos];
+        // `///` is doc, `////...` is not (rustc rule); `//!` is inner doc.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.emit(TokenKind::LineComment, start, start_line, doc);
+    }
+
+    fn block_comment(&mut self, start: usize, start_line: u32) {
+        // `/**/` is an empty plain comment; `/**x` is doc; `/*!` is inner doc.
+        self.bump(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump(2);
+                }
+                (Some(_), _) => self.bump(1),
+                (None, _) => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let doc = (text.starts_with("/**") && text != "/**/" && !text.starts_with("/***"))
+            || text.starts_with("/*!");
+        self.emit(TokenKind::BlockComment, start, start_line, doc);
+    }
+
+    /// `"..."` with backslash escapes; may span lines.
+    fn string(&mut self, start: usize, start_line: u32) {
+        self.bump(1);
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump(2),
+                b'"' => {
+                    self.bump(1);
+                    break;
+                }
+                _ => self.bump(1),
+            }
+        }
+        self.emit(TokenKind::StrLit, start, start_line, false);
+    }
+
+    /// A `'`: lifetime, loop label, or char literal. Disambiguation
+    /// mirrors rustc: `'a'` is a char, `'a` followed by anything but a
+    /// closing quote is a lifetime, `'\...'` and `'"'`-style single
+    /// chars are char literals.
+    fn quote(&mut self, start: usize, start_line: u32) {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: skip to the closing quote,
+                // honoring `\'` and `\\`.
+                self.bump(2); // ' and backslash
+                self.bump(1); // the escaped char itself (e.g. ' in '\'')
+                while let Some(b) = self.peek(0) {
+                    match b {
+                        b'\\' => self.bump(2),
+                        b'\'' => {
+                            self.bump(1);
+                            break;
+                        }
+                        _ => self.bump(1),
+                    }
+                }
+                self.emit(TokenKind::CharLit, start, start_line, false);
+            }
+            Some(c) if is_ident_start(c as char) || c.is_ascii_digit() => {
+                // Could be 'x' (char) or 'x / 'xyz (lifetime/label).
+                // Peek past the full ident run: a closing quote right
+                // after exactly one scalar means a char literal.
+                let after = self.peek(1 + utf8_len(c)) == Some(b'\'');
+                if after {
+                    self.bump(1 + utf8_len(c) + 1);
+                    self.emit(TokenKind::CharLit, start, start_line, false);
+                } else {
+                    self.bump(2); // ' and first ident char
+                    while let Some(b) = self.peek(0) {
+                        if is_ident_continue(b as char) {
+                            self.bump(1);
+                        } else {
+                            break;
+                        }
+                    }
+                    self.emit(TokenKind::Lifetime, start, start_line, false);
+                }
+            }
+            Some(b'\'') => {
+                // `''` — malformed; consume both quotes as a char lit
+                // so we cannot loop forever.
+                self.bump(2);
+                self.emit(TokenKind::CharLit, start, start_line, false);
+            }
+            Some(c) => {
+                // Punctuation char literal such as '"' or '(' — one
+                // scalar, then the closing quote if present.
+                let n = utf8_len(c);
+                if self.peek(1 + n) == Some(b'\'') {
+                    self.bump(1 + n + 1);
+                    self.emit(TokenKind::CharLit, start, start_line, false);
+                } else {
+                    // A stray quote (e.g. inside macro token trees);
+                    // treat as punctuation.
+                    self.bump(1);
+                    self.emit(TokenKind::Punct, start, start_line, false);
+                }
+            }
+            None => {
+                self.bump(1);
+                self.emit(TokenKind::Punct, start, start_line, false);
+            }
+        }
+    }
+
+    /// Literals introduced by `r` / `b` / `c` prefixes: raw strings
+    /// (`r"..."`, `r#"..."#`), raw byte/C strings (`br#"..."#`,
+    /// `cr"..."`), byte strings (`b"..."`), C strings (`c"..."`), byte
+    /// chars (`b'x'`), and raw identifiers (`r#match`). Returns false
+    /// when the prefix turns out to start a plain identifier (`result`,
+    /// `break`, ...), leaving the position untouched.
+    fn try_prefixed_literal(&mut self, start: usize, start_line: u32) -> bool {
+        let b0 = self.peek(0).unwrap_or(0);
+        // Offset of the first char after the letter prefix, and whether
+        // the prefix admits raw forms.
+        let (after, raw_ok, str_ok, char_ok) = match (b0, self.peek(1)) {
+            (b'b', Some(b'r')) => (2, true, true, false), // br
+            (b'c', Some(b'r')) => (2, true, true, false), // cr
+            (b'r', _) => (1, true, true, false),          // r
+            (b'b', _) => (1, false, true, true),          // b" or b'
+            (b'c', _) => (1, false, true, false),         // c"
+            _ => return false,
+        };
+        match self.peek(after) {
+            Some(b'"') if str_ok && after == 1 => {
+                // b"..." / c"..." escape-carrying strings.
+                self.bump(after);
+                self.string_body_escaped();
+                self.emit(TokenKind::StrLit, start, start_line, false);
+                true
+            }
+            Some(b'"') if raw_ok => {
+                self.bump(after);
+                self.raw_string_body(0);
+                self.emit(TokenKind::StrLit, start, start_line, false);
+                true
+            }
+            Some(b'#') if raw_ok => {
+                // Count hashes; a quote must follow for a raw string.
+                let mut hashes = 0usize;
+                while self.peek(after + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(after + hashes) == Some(b'"') {
+                    self.bump(after + hashes);
+                    self.raw_string_body(hashes);
+                    self.emit(TokenKind::StrLit, start, start_line, false);
+                    true
+                } else if b0 == b'r' && hashes == 1 {
+                    // Raw identifier r#ident.
+                    self.bump(2);
+                    while let Some(b) = self.peek(0) {
+                        if is_ident_continue(b as char) {
+                            self.bump(1);
+                        } else {
+                            break;
+                        }
+                    }
+                    self.emit(TokenKind::Ident, start, start_line, false);
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(b'\'') if char_ok => {
+                // Byte char b'x' — reuse the quote lexer for the body.
+                self.bump(1);
+                let inner_start = self.pos;
+                let inner_line = self.line;
+                self.quote(inner_start, inner_line);
+                // Replace the just-emitted inner token with one
+                // covering the prefix too.
+                let tok = self.out.pop();
+                let kind = tok.map_or(TokenKind::CharLit, |t| t.kind);
+                self.out.push(Token {
+                    kind,
+                    text: &self.src[start..self.pos],
+                    start,
+                    line: start_line,
+                    doc: false,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a `"`-opened string with escapes; cursor sits on the
+    /// opening quote.
+    fn string_body_escaped(&mut self) {
+        self.bump(1);
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump(2),
+                b'"' => {
+                    self.bump(1);
+                    return;
+                }
+                _ => self.bump(1),
+            }
+        }
+    }
+
+    /// Body of a raw string; cursor sits on the opening quote, and the
+    /// literal ends at `"` followed by `hashes` hash marks. No escapes.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(1);
+        while let Some(b) = self.peek(0) {
+            if b == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump(1 + hashes);
+                    return;
+                }
+            }
+            self.bump(1);
+        }
+    }
+
+    fn ident(&mut self, start: usize, start_line: u32) {
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b as char) {
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+        self.emit(TokenKind::Ident, start, start_line, false);
+    }
+
+    /// Numbers, lexed loosely (exact numeric grammar is irrelevant to
+    /// the lint catalog): digits/alphanumerics/underscores, a fraction
+    /// part when the dot is followed by a digit (so `0..n` stays three
+    /// tokens), and a signed exponent.
+    fn number(&mut self, start: usize, start_line: u32) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let at_exponent = (b == b'e' || b == b'E')
+                        && !self.src[start..self.pos].starts_with("0x")
+                        && matches!(self.peek(1), Some(b'+') | Some(b'-'));
+                    self.bump(1);
+                    if at_exponent {
+                        self.bump(1); // the sign of 1e-10
+                    }
+                }
+                b'.' if matches!(self.peek(1), Some(b'0'..=b'9')) => self.bump(1),
+                _ => break,
+            }
+        }
+        self.emit(TokenKind::NumLit, start, start_line, false);
+    }
+}
+
+/// Length in bytes of the UTF-8 scalar starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("let x = a.partial_cmp(&b);");
+        assert!(toks.contains(&(TokenKind::Ident, "partial_cmp")));
+        assert!(toks.contains(&(TokenKind::Punct, ".")));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks[0], (TokenKind::BlockComment, "/* a /* b */ c */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_swallows_quotes() {
+        let toks = kinds(r####"let s = r##"inner "quote" and .unwrap()"## ;"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn char_literal_double_quote_does_not_open_string() {
+        let toks = kinds("let c = '\"'; let d = 1;");
+        assert!(toks.contains(&(TokenKind::CharLit, "'\"'")));
+        assert!(toks.contains(&(TokenKind::Ident, "d")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn doc_comment_flagging() {
+        let toks = lex("/// doc\n//! inner\n// plain\n//// not doc\n");
+        let docs: Vec<bool> = toks.iter().map(|t| t.doc).collect();
+        assert_eq!(docs, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "/* one\ntwo */\nx\n\"a\nb\"\ny";
+        let toks = lex(src);
+        let line_of = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(line_of("x"), Some(3));
+        assert_eq!(line_of("y"), Some(6));
+    }
+
+    #[test]
+    fn spans_cover_input_without_overlap() {
+        let src = "fn main() { let s = \"x\\\"y\"; /* c */ }";
+        let toks = lex(src);
+        let mut pos = 0usize;
+        for t in &toks {
+            assert!(t.start >= pos, "overlap at {:?}", t);
+            pos = t.start + t.text.len();
+        }
+        assert!(pos <= src.len());
+    }
+}

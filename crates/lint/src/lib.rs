@@ -1,0 +1,121 @@
+//! `csa-lint` — the workspace static-analysis pass (DESIGN.md §13).
+//!
+//! Every headline result in this reproduction rests on invariants the
+//! compiler cannot see: bit-identical output at any thread count,
+//! NaN-safe float ordering, and atomic result writes. The same
+//! NaN-unsafe `partial_cmp(..).unwrap()` sort bug was fixed by hand in
+//! PR 2 and again in PR 4; this crate machine-checks that class of bug
+//! (and its determinism/crash-safety siblings) on every commit instead.
+//!
+//! The pass is fully self-contained: a hand-rolled, span-accurate
+//! Rust lexer ([`lexer`]) feeds token-level matchers ([`analyze`]) for
+//! the project lint catalog ([`catalog`]):
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | F001 | NaN-safe float ordering (`total_cmp`, never `partial_cmp(..).unwrap()`) |
+//! | D001 | no nondeterministic `HashMap`/`HashSet` in non-test code |
+//! | D002 | no wall-clock reads outside the timing-report surface |
+//! | A001 | result writes go through `write_atomic` (crash-safety contract) |
+//! | P001 | library panic surface, ratcheted by [`baseline`] |
+//! | S001 | suppressions must be well-formed and live |
+//!
+//! Violations are suppressed inline with
+//! `// csa-lint: allow(CODE) reason` — the reason is mandatory, and a
+//! suppression that stops matching anything becomes an S001 violation
+//! itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use csa_lint::{analyze_source, Lint};
+//!
+//! let bad = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+//! let violations = analyze_source("crates/fake/src/lib.rs", bad);
+//! assert!(violations.iter().any(|v| v.lint == Lint::F001));
+//!
+//! let good = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+//! assert!(analyze_source("crates/fake/src/lib.rs", good).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod baseline;
+pub mod catalog;
+pub mod lexer;
+pub mod walk;
+
+pub use analyze::{analyze_source, Violation};
+pub use baseline::{Counts, RatchetIssue};
+pub use catalog::{FileClass, Lint, ALL_LINTS, TIMING_SURFACE};
+
+use std::io;
+use std::path::Path;
+
+/// Everything `--check` needs to render a verdict for one workspace.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Files scanned (workspace-relative, sorted).
+    pub files: Vec<String>,
+    /// Site-level violations of every lint except P001, sorted.
+    pub violations: Vec<Violation>,
+    /// Individual P001 sites (for display when the ratchet breaks).
+    pub panic_sites: Vec<Violation>,
+    /// Per-file P001 counts, the ratchet currency.
+    pub panic_counts: Counts,
+    /// Baseline comparison results; empty iff the ratchet holds.
+    pub ratchet: Vec<RatchetIssue>,
+}
+
+impl CheckReport {
+    /// True when the workspace passes: no site violations and an
+    /// exactly-true committed baseline.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.ratchet.is_empty()
+    }
+}
+
+/// Runs the full pass over the workspace rooted at `root`: walk, lint
+/// every `.rs` file, and compare the panic surface to the committed
+/// baseline.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the walk or file reads.
+pub fn check_workspace(root: &Path) -> io::Result<CheckReport> {
+    let mut report = scan_workspace(root)?;
+    report.ratchet = match baseline::load(root)? {
+        None => vec![RatchetIssue::Missing],
+        Some(Err(bad)) => vec![bad],
+        Some(Ok(committed)) => baseline::compare(&committed, &report.panic_counts),
+    };
+    Ok(report)
+}
+
+/// Like [`check_workspace`] but without the baseline comparison —
+/// `--update-baseline` uses this to compute the counts it will commit.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the walk or file reads.
+pub fn scan_workspace(root: &Path) -> io::Result<CheckReport> {
+    let mut report = CheckReport {
+        files: walk::rust_files(root)?,
+        ..CheckReport::default()
+    };
+    for rel in &report.files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        for v in analyze_source(rel, &src) {
+            if v.lint == Lint::P001 {
+                *report.panic_counts.entry(v.path.clone()).or_insert(0) += 1;
+                report.panic_sites.push(v);
+            } else {
+                report.violations.push(v);
+            }
+        }
+    }
+    report.violations.sort();
+    report.panic_sites.sort();
+    Ok(report)
+}

@@ -1,0 +1,117 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p csa-lint -- --check                # CI gate: exit 1 on any violation
+//! cargo run -p csa-lint -- --update-baseline     # commit a panic-surface improvement
+//! cargo run -p csa-lint -- --list                # print the lint catalog
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(args: &[String]) -> PathBuf {
+    for pair in args.windows(2) {
+        if pair[0] == "--root" {
+            return PathBuf::from(&pair[1]);
+        }
+    }
+    for a in args {
+        if let Some(p) = a.strip_prefix("--root=") {
+            return PathBuf::from(p);
+        }
+    }
+    // Under `cargo run -p csa-lint` the manifest dir is crates/lint;
+    // the workspace root is two levels up.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir)
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from(".")),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "csa-lint: workspace static-analysis pass (DESIGN.md §13)\n\
+         \n\
+         USAGE:\n\
+         \x20   cargo run -p csa-lint -- --check [--root DIR]\n\
+         \x20   cargo run -p csa-lint -- --update-baseline [--root DIR]\n\
+         \x20   cargo run -p csa-lint -- --list\n\
+         \n\
+         Suppress a single finding with `// csa-lint: allow(CODE) reason`."
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let list = args.iter().any(|a| a == "--list");
+    let check = args.iter().any(|a| a == "--check");
+    let update = args.iter().any(|a| a == "--update-baseline");
+
+    if list {
+        for lint in csa_lint::ALL_LINTS {
+            println!("{}  {}", lint.code(), lint.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !check && !update {
+        usage();
+        return ExitCode::from(2);
+    }
+
+    let root = workspace_root(&args);
+    if update {
+        let report = match csa_lint::scan_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("csa-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = csa_lint::baseline::save(&root, &report.panic_counts) {
+            eprintln!("csa-lint: writing baseline failed: {e}");
+            return ExitCode::from(2);
+        }
+        let total: usize = report.panic_counts.values().sum();
+        println!(
+            "csa-lint: baseline updated — {} panic sites across {} files",
+            total,
+            report.panic_counts.len()
+        );
+    }
+
+    let report = match csa_lint::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("csa-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    // On a ratchet regression, show the offending file's sites so the
+    // new panic is findable without grepping.
+    for issue in &report.ratchet {
+        println!("{issue}");
+        if let csa_lint::RatchetIssue::Regressed { path, .. } = issue {
+            for site in report.panic_sites.iter().filter(|s| &s.path == path) {
+                println!("    {site}");
+            }
+        }
+    }
+    let failures = report.violations.len() + report.ratchet.len();
+    if failures == 0 {
+        println!(
+            "csa-lint: clean — {} files scanned, {} accepted panic sites baselined",
+            report.files.len(),
+            report.panic_counts.values().sum::<usize>()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("csa-lint: {failures} violation(s)");
+        ExitCode::FAILURE
+    }
+}

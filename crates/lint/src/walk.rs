@@ -1,0 +1,48 @@
+//! Deterministic workspace file walk.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &[".git", "target", "results", "fixtures"];
+
+/// Collects every `.rs` file under `root`, workspace-relative with
+/// `/` separators, in sorted order (the walk itself must satisfy the
+/// determinism invariants it enforces). Build output, VCS internals,
+/// experiment artifacts, and the deliberately-bad lint fixture corpus
+/// are skipped.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    descend(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            descend(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

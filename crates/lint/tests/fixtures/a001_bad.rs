@@ -1,0 +1,23 @@
+// Fixture: result writes bypassing write_atomic (A001).
+
+use std::fs::File;
+use std::fs::OpenOptions;
+use std::io::Write;
+
+pub fn torn_csv(rows: &[String]) -> std::io::Result<()> {
+    // A crash between these writes leaves a truncated-but-plausible CSV.
+    let mut f = File::create("results/table.csv")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+pub fn torn_blob(content: &str) -> std::io::Result<()> {
+    std::fs::write("results/summary.txt", content)
+}
+
+pub fn appended(content: &str) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().append(true).open("results/log.txt")?;
+    f.write_all(content.as_bytes())
+}

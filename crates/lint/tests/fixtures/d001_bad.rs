@@ -1,0 +1,18 @@
+// Fixture: nondeterministic collections in non-test code (D001).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(words: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for w in words {
+        *counts.entry((*w).to_string()).or_insert(0) += 1;
+    }
+    // Iteration order leaks straight into the returned rows.
+    counts.into_iter().collect()
+}
+
+pub fn distinct(xs: &[u64]) -> usize {
+    let s: HashSet<u64> = xs.iter().copied().collect();
+    s.len()
+}

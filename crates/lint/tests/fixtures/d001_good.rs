@@ -1,0 +1,37 @@
+// Fixture: deterministic collections and justified exceptions (D001).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(words: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for w in words {
+        *counts.entry((*w).to_string()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn distinct(xs: &[u64]) -> usize {
+    let s: BTreeSet<u64> = xs.iter().copied().collect();
+    s.len()
+}
+
+// A justified hash map is fine when probed by key only:
+use std::collections::HashMap; // csa-lint: allow(D001) memo probed by key, never iterated
+
+// csa-lint: allow(D001) memo probed by key, never iterated
+pub fn memo() -> HashMap<u64, u64> {
+    // csa-lint: allow(D001) memo probed by key, never iterated
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use whatever collection it likes.
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_works() {
+        let s: HashSet<u64> = [1, 1, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

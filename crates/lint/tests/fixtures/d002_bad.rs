@@ -1,0 +1,17 @@
+// Fixture: wall-clock reads outside the timing surface (D002).
+
+use std::time::{Instant, SystemTime};
+
+pub fn seed_from_clock() -> u64 {
+    // Seeding anything from the wall clock destroys replayability.
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}

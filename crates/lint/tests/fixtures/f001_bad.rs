@@ -1,0 +1,21 @@
+// Fixture: NaN-unsafe float ordering (F001), all three forms.
+
+pub fn unwrap_form(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn expect_form(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("comparable")
+}
+
+pub fn sort_form(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+/// Doc examples must be lint-clean too.
+///
+/// ```
+/// let mut v = vec![1.0f64, 2.0];
+/// v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// ```
+pub fn doc_form() {}

@@ -1,0 +1,48 @@
+// Fixture: NaN-safe float ordering — nothing here may fire F001.
+
+pub fn total_form(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+pub fn sort_form(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+// Mentioning the anti-pattern in prose is fine:
+// a.partial_cmp(&b).unwrap() — this is a comment, not code.
+
+pub fn in_string() -> &'static str {
+    "x.partial_cmp(&y).unwrap()"
+}
+
+pub fn in_raw_string() -> &'static str {
+    r#"v.sort_by(|a, b| a.partial_cmp(b).unwrap())"#
+}
+
+/// The safe pattern in a doc example:
+///
+/// ```
+/// let mut v = vec![1.0f64, 2.0];
+/// v.sort_by(f64::total_cmp);
+/// ```
+///
+/// And the unsafe one quoted in a non-Rust fence:
+///
+/// ```text
+/// v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// ```
+pub fn doc_form() {}
+
+// partial_cmp *implementations* are not calls of the anti-pattern.
+pub struct Wrapped(pub f64);
+impl PartialEq for Wrapped {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl PartialOrd for Wrapped {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}

@@ -1,0 +1,41 @@
+// Fixture: every token class that could fool a naive pattern matcher.
+// A correct lexer reports ZERO violations for this file.
+
+/* outer /* nested /* deeply */ block */ comment with a.partial_cmp(&b).unwrap() inside */
+
+pub fn strings() -> Vec<String> {
+    vec![
+        "plain with HashMap and Instant::now()".to_string(),
+        "escaped quote \" then partial_cmp(x).unwrap()".to_string(),
+        r"raw with File::create".to_string(),
+        r#"raw hashed: v.sort_by(|a, b| a.partial_cmp(b).unwrap())"#.to_string(),
+        r##"doubly hashed "#quote#" panic!("no")"##.to_string(),
+        String::from_utf8_lossy(b"byte string with SystemTime::now()").to_string(),
+    ]
+}
+
+pub fn chars() -> Vec<char> {
+    // '"' must not open a string; '\'' must not end early; lifetime
+    // ticks must not start char literals.
+    vec!['"', '\'', '\\', '{', '}', '\n', '\u{1F600}']
+}
+
+pub fn lifetimes<'a, 'b: 'a>(x: &'a str, _y: &'b str) -> &'a str {
+    let label = 'outer: loop {
+        break 'outer x;
+    };
+    label
+}
+
+pub fn numerics() -> f64 {
+    let range: Vec<u32> = (0..10).collect();
+    1.0e-10 + 2.5e+3 + 0xff as f64 + 1_000.5 + range.len() as f64
+}
+
+/// Doc text mentioning `a.partial_cmp(&b).unwrap()` inline — prose, not
+/// a code block, so it must not fire.
+///
+/// ```text
+/// Instant::now() in a text fence is also prose.
+/// ```
+pub fn documented() {}

@@ -1,0 +1,17 @@
+// Fixture: panic surface in library code (P001).
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("numeric")
+}
+
+pub fn reject(kind: u8) -> ! {
+    panic!("unsupported kind {kind}")
+}
+
+pub fn fn_pointer_panics(xs: Vec<Option<u64>>) -> Vec<u64> {
+    xs.into_iter().map(Option::unwrap).collect()
+}

@@ -1,0 +1,25 @@
+// Fixture: panic-free library code (P001).
+
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u64, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn first_or_default(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in test code are assertions, not library surface.
+    #[test]
+    fn first_works() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+        if false {
+            panic!("unreachable test branch");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The fixture corpus: one known-bad and one known-good file per lint
+//! (DESIGN.md §13). Bad fixtures must fire exactly their lint; good
+//! fixtures must be completely clean. The corpus lives under
+//! `tests/fixtures/`, which the workspace walk skips — these tests
+//! analyze the files under a synthetic library-crate path instead.
+
+use csa_lint::{analyze_source, Lint, Violation};
+use std::path::Path;
+
+fn analyze_fixture(name: &str) -> Vec<Violation> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    // Synthetic path: a plain library file so every lint is in scope.
+    analyze_source(&format!("crates/fixture/src/{name}"), &src)
+}
+
+fn assert_only(name: &str, lint: Lint, at_least: usize) {
+    let v = analyze_fixture(name);
+    assert!(
+        v.len() >= at_least,
+        "{name}: expected >= {at_least} {lint} violations, got {v:?}"
+    );
+    for viol in &v {
+        assert_eq!(viol.lint, lint, "{name}: unexpected {viol}");
+    }
+}
+
+fn assert_clean(name: &str) {
+    let v = analyze_fixture(name);
+    assert!(v.is_empty(), "{name} must be lint-clean, got {v:?}");
+}
+
+#[test]
+fn f001_bad_fires_all_three_forms() {
+    let v = analyze_fixture("f001_bad.rs");
+    let f001: Vec<&Violation> = v.iter().filter(|x| x.lint == Lint::F001).collect();
+    assert!(f001.len() >= 4, "unwrap/expect/sort/doc forms: {v:?}");
+    assert!(
+        f001.iter().any(|x| x.message.starts_with("doc example:")),
+        "the doc-example form must be flagged: {v:?}"
+    );
+    assert!(v
+        .iter()
+        .all(|x| x.lint == Lint::F001 || x.lint == Lint::P001));
+}
+
+#[test]
+fn f001_good_is_clean() {
+    assert_clean("f001_good.rs");
+}
+
+#[test]
+fn d001_bad_fires() {
+    assert_only("d001_bad.rs", Lint::D001, 4);
+}
+
+#[test]
+fn d001_good_is_clean() {
+    assert_clean("d001_good.rs");
+}
+
+#[test]
+fn d002_bad_fires() {
+    let v = analyze_fixture("d002_bad.rs");
+    let d002 = v.iter().filter(|x| x.lint == Lint::D002).count();
+    assert_eq!(d002, 2, "Instant + SystemTime: {v:?}");
+}
+
+#[test]
+fn d002_good_is_clean() {
+    assert_clean("d002_good.rs");
+}
+
+#[test]
+fn a001_bad_fires() {
+    assert_only("a001_bad.rs", Lint::A001, 3);
+}
+
+#[test]
+fn a001_good_is_clean() {
+    assert_clean("a001_good.rs");
+}
+
+#[test]
+fn p001_bad_counts_every_site() {
+    let v = analyze_fixture("p001_bad.rs");
+    let p001 = v.iter().filter(|x| x.lint == Lint::P001).count();
+    assert_eq!(p001, 4, "unwrap, expect, panic!, Option::unwrap: {v:?}");
+}
+
+#[test]
+fn p001_good_is_clean() {
+    assert_clean("p001_good.rs");
+}
+
+#[test]
+fn lexer_torture_is_clean() {
+    // Every lint pattern in this file hides inside a comment, string,
+    // raw string, char literal, or non-Rust doc fence.
+    assert_clean("lexer_torture.rs");
+}
+
+#[test]
+fn p001_is_scope_sensitive() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/p001_bad.rs");
+    let src = std::fs::read_to_string(path).expect("fixture");
+    // The same panics in a bin target or an integration test are not
+    // library surface.
+    for synthetic in [
+        "crates/fixture/src/bin/tool.rs",
+        "crates/fixture/tests/integration.rs",
+    ] {
+        let v = analyze_source(synthetic, &src);
+        assert!(v.iter().all(|x| x.lint != Lint::P001), "{synthetic}: {v:?}");
+    }
+}
+
+#[test]
+fn fixture_paths_themselves_are_skipped() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/f001_bad.rs");
+    let src = std::fs::read_to_string(path).expect("fixture");
+    let v = analyze_source("crates/lint/tests/fixtures/f001_bad.rs", &src);
+    assert!(v.is_empty(), "fixtures are exempt by path: {v:?}");
+}

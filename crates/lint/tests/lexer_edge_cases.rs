@@ -1,0 +1,230 @@
+//! Lexer edge cases: the token classes that fool naive grep-based
+//! linting — nested block comments, raw strings, char literals like
+//! `'"'`, and lifetime ticks — plus property tests that randomized
+//! combinations never leak "dangerous" identifiers out of non-code
+//! tokens or break span accounting.
+
+use csa_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+fn code_idents(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.to_string())
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_swallow_everything() {
+    let src = "/* a /* b /* c */ b */ a */ fn tail() {}";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert_eq!(toks[0].text, "/* a /* b /* c */ b */ a */");
+    assert_eq!(code_idents(src), vec!["fn", "tail"]);
+}
+
+#[test]
+fn unterminated_nested_comment_reaches_eof_without_panicking() {
+    let src = "/* open /* still open */ x";
+    let toks = lex(src);
+    assert_eq!(toks.len(), 1);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+}
+
+#[test]
+fn raw_strings_with_varying_hashes() {
+    for src in [
+        r#####"let s = r"no hash .unwrap()";"#####,
+        r#####"let s = r#"one "quoted" hash"#;"#####,
+        r#####"let s = r###"three "## inner"###;"#####,
+        r#####"let s = br#"byte raw panic!()"#;"#####,
+        r#####"let s = cr#"c raw HashMap"#;"#####,
+    ] {
+        let idents = code_idents(src);
+        assert_eq!(idents, vec!["let", "s"], "{src}");
+    }
+}
+
+#[test]
+fn raw_string_end_requires_matching_hash_count() {
+    // The "# inside must not end a two-hash raw string.
+    let src = r###"let s = r##"a "# b"## ; tail"###;
+    let toks = lex(src);
+    let lit = toks
+        .iter()
+        .find(|t| t.kind == TokenKind::StrLit)
+        .expect("string token");
+    assert!(lit.text.contains(r##"a "# b"##), "{:?}", lit.text);
+    assert!(code_idents(src).contains(&"tail".to_string()));
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_strings() {
+    let idents = code_idents("let r#match = r#fn + other;");
+    assert!(idents.contains(&"r#match".to_string()), "{idents:?}");
+    assert!(idents.contains(&"r#fn".to_string()), "{idents:?}");
+}
+
+#[test]
+fn char_literals_do_not_open_strings() {
+    // '"' is the classic trap: a naive scanner treats the quote as a
+    // string opener and inverts code/string parity for the whole file.
+    let src = "let q = '\"'; let unwrap_me = 1;";
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::CharLit && t.text == "'\"'"));
+    assert!(code_idents(src).contains(&"unwrap_me".to_string()));
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::StrLit));
+}
+
+#[test]
+fn escaped_char_literals() {
+    for (src, lit) in [
+        ("let c = '\\'';", "'\\''"),
+        ("let c = '\\\\';", "'\\\\'"),
+        ("let c = '\\n';", "'\\n'"),
+        ("let c = '\\u{1F600}';", "'\\u{1F600}'"),
+        ("let c = b'x';", "b'x'"),
+    ] {
+        let toks = lex(src);
+        let found = toks.iter().find(|t| t.kind == TokenKind::CharLit);
+        assert_eq!(found.map(|t| t.text), Some(lit), "{src}");
+    }
+}
+
+#[test]
+fn lifetimes_and_labels_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'a", "'outer", "'outer"]);
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::CharLit));
+}
+
+#[test]
+fn single_char_lifetime_vs_char_literal() {
+    assert!(lex("'a'").iter().any(|t| t.kind == TokenKind::CharLit));
+    assert!(lex("'a ").iter().any(|t| t.kind == TokenKind::Lifetime));
+    assert!(lex("'abc").iter().any(|t| t.kind == TokenKind::Lifetime));
+}
+
+#[test]
+fn numeric_forms_stay_single_tokens_but_ranges_split() {
+    let toks = lex("let x = 1.0e-10 + 0xff + 1_000.5; for i in 0..10 {}");
+    let nums: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::NumLit)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(nums, vec!["1.0e-10", "0xff", "1_000.5", "0", "10"]);
+}
+
+#[test]
+fn doc_comment_classification() {
+    let toks =
+        lex("/// outer\n//! inner\n//// bang\n// plain\n/** block */\n/*! bang */\n/* no */\n");
+    let flags: Vec<(TokenKind, bool)> = toks.iter().map(|t| (t.kind, t.doc)).collect();
+    assert_eq!(
+        flags,
+        vec![
+            (TokenKind::LineComment, true),
+            (TokenKind::LineComment, true),
+            (TokenKind::LineComment, false),
+            (TokenKind::LineComment, false),
+            (TokenKind::BlockComment, true),
+            (TokenKind::BlockComment, true),
+            (TokenKind::BlockComment, false),
+        ]
+    );
+}
+
+/// Snippets that are dangerous if misparsed: each embeds a lint trigger
+/// inside a non-code token.
+const HIDING_SPOTS: &[&str] = &[
+    "// x.partial_cmp(&y).unwrap()\n",
+    "/* HashMap::new() /* nested */ still comment */",
+    "let s = \"Instant::now()\";",
+    "let s = r#\"File::create(\"x\")\"#;",
+    "let c = '\"';",
+    "let s = \"esc \\\" File::create\";",
+    "/// prose partial_cmp(&b).unwrap()\n",
+];
+
+/// Snippets of ordinary code providing surrounding context.
+const PLAIN_CODE: &[&str] = &[
+    "fn f<'a>(x: &'a str) -> &'a str { x }\n",
+    "let v: Vec<f64> = (0..4).map(|i| i as f64).collect();",
+    "let total = 1.0e-3 + 0x10 as f64;",
+    "struct S { field: u32 }",
+    "v.sort_by(f64::total_cmp);",
+];
+
+const DANGEROUS_IDENTS: &[&str] = &[
+    "partial_cmp",
+    "unwrap",
+    "HashMap",
+    "Instant",
+    "File",
+    "create",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random interleavings of hidden triggers and plain code: the
+    /// trigger identifiers must never surface as code tokens, and the
+    /// plain code around them must still lex.
+    #[test]
+    fn hidden_triggers_never_leak(picks in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..12)) {
+        let mut src = String::new();
+        let mut plain_count = 0usize;
+        for (idx, hide) in &picks {
+            if *hide {
+                src.push_str(HIDING_SPOTS[*idx as usize % HIDING_SPOTS.len()]);
+            } else {
+                src.push_str(PLAIN_CODE[*idx as usize % PLAIN_CODE.len()]);
+                plain_count += 1;
+            }
+            src.push('\n');
+        }
+        let idents = code_idents(&src);
+        for bad in DANGEROUS_IDENTS {
+            prop_assert!(
+                !idents.iter().any(|i| i == bad),
+                "{bad} leaked out of a non-code token in:\n{src}"
+            );
+        }
+        if plain_count > 0 {
+            prop_assert!(!idents.is_empty());
+        }
+    }
+
+    /// Spans are sorted, non-overlapping, in-bounds, and stable across
+    /// re-lexing for arbitrary (even invalid) input.
+    #[test]
+    fn spans_are_sound_on_arbitrary_input(chunks in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Map arbitrary bytes onto a printable alphabet rich in lexer
+        // triggers: quotes, slashes, stars, hashes, ticks, newlines.
+        let alphabet: Vec<char> = "ab_01.(){}<>:;,#'\"\\/* \n\tr".chars().collect();
+        let src: String = chunks
+            .iter()
+            .map(|b| alphabet[*b as usize % alphabet.len()])
+            .collect();
+        let toks = lex(&src);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= pos, "overlap in {src:?}");
+            prop_assert!(t.start + t.text.len() <= src.len());
+            prop_assert_eq!(&src[t.start..t.start + t.text.len()], t.text);
+            pos = t.start + t.text.len();
+        }
+        let again = lex(&src);
+        prop_assert_eq!(toks.len(), again.len());
+    }
+}

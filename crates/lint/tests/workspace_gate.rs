@@ -1,0 +1,156 @@
+//! The real gate: the actual workspace must pass `csa-lint --check`,
+//! and a seeded known-bad file must fail it. Runs the library API
+//! directly plus the installed binary (the exact CI entry point).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean_with_exact_baseline() {
+    let report = csa_lint::check_workspace(&workspace_root()).expect("scan");
+    assert!(
+        report.violations.is_empty(),
+        "workspace lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.ratchet.is_empty(),
+        "P001 baseline out of date:\n{}",
+        report
+            .ratchet
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually covered the workspace.
+    assert!(report.files.len() > 80, "only {} files", report.files.len());
+    assert!(report
+        .files
+        .iter()
+        .any(|f| f == "crates/core/src/analysis.rs"));
+    assert!(report.files.iter().any(|f| f.starts_with("vendor/")));
+}
+
+/// Builds a throwaway mini-workspace under the system temp dir.
+fn seed_workspace(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csa_lint_gate_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for (rel, content) in files {
+        let path = dir.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, content).expect("seed file");
+    }
+    dir
+}
+
+const CLEAN_LIB: &str = "pub fn ok(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n";
+const BAD_LIB: &str =
+    "pub fn bad(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+const EMPTY_BASELINE: &str = "# empty baseline\n";
+
+#[test]
+fn binary_exits_nonzero_when_bad_fixture_is_seeded() {
+    let root = seed_workspace(
+        "bad",
+        &[
+            ("crates/foo/src/lib.rs", BAD_LIB),
+            ("crates/lint/baseline.txt", EMPTY_BASELINE),
+        ],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_csa-lint"))
+        .args(["--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run csa-lint");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("F001"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn binary_exits_zero_on_clean_seeded_workspace() {
+    let root = seed_workspace(
+        "clean",
+        &[
+            ("crates/foo/src/lib.rs", CLEAN_LIB),
+            ("crates/lint/baseline.txt", EMPTY_BASELINE),
+        ],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_csa-lint"))
+        .args(["--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run csa-lint");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn ratchet_blocks_new_panics_and_update_baseline_accepts_removals() {
+    let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let root = seed_workspace("ratchet", &[("crates/foo/src/lib.rs", panicky)]);
+    let bin = env!("CARGO_BIN_EXE_csa-lint");
+
+    // No baseline yet: check fails, update creates it, check passes.
+    let missing = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run");
+    assert_eq!(missing.status.code(), Some(1), "{missing:?}");
+    let update = Command::new(bin)
+        .args(["--update-baseline", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run");
+    assert_eq!(update.status.code(), Some(0), "{update:?}");
+    let pass = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run");
+    assert_eq!(pass.status.code(), Some(0), "{pass:?}");
+
+    // A second panic site regresses the ratchet.
+    let two = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\npub fn g() { panic!(\"x\") }\n";
+    std::fs::write(root.join("crates/foo/src/lib.rs"), two).expect("grow");
+    let regressed = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run");
+    assert_eq!(regressed.status.code(), Some(1), "{regressed:?}");
+    let stdout = String::from_utf8_lossy(&regressed.stdout);
+    assert!(stdout.contains("ratchet"), "{stdout}");
+
+    // Removing every panic makes the committed baseline stale: the
+    // ratchet only passes again once the improvement is committed.
+    std::fs::write(root.join("crates/foo/src/lib.rs"), CLEAN_LIB).expect("shrink");
+    let stale = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run");
+    assert_eq!(stale.status.code(), Some(1), "{stale:?}");
+    let recommit = Command::new(bin)
+        .args(["--update-baseline", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run");
+    assert_eq!(recommit.status.code(), Some(0), "{recommit:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
