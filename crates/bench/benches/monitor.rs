@@ -1,0 +1,90 @@
+//! Monitoring-service benchmarks (DESIGN.md §14): warm-memo vs cold
+//! assessment latency, and batched vs singleton windows.
+//!
+//! The determinism contract says memo warmth and batching change
+//! *latency only* — these benches quantify that latency. The headline
+//! number (checked in EXPERIMENTS.md) is the warm/cold ratio: a warm
+//! repeat of an already-seen task set must be at least 2× faster than
+//! a cold assessment, because the census classification re-asks many
+//! of the search's stability queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csa_bench::fixed_benchmarks_with;
+use csa_core::ControlTask;
+use csa_experiments::PeriodModel;
+use csa_monitor::{MonitorConfig, MonitorEngine, Payload, Request, Response};
+use std::hint::black_box;
+
+fn config(batch_window: usize) -> MonitorConfig {
+    MonitorConfig {
+        batch_window,
+        // Keep the baseline building: bench latency, not event flow.
+        min_samples: u64::MAX,
+        ..MonitorConfig::default()
+    }
+}
+
+fn inline(id: u64, tasks: &[ControlTask]) -> Request {
+    Request {
+        id,
+        payload: Payload::Inline {
+            tasks: tasks.to_vec(),
+        },
+    }
+}
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_memo");
+    // n = 14 keeps the census classification (search + anomaly scans +
+    // OPA + quadratic audit) expensive enough that per-request
+    // bookkeeping is noise next to the memoized analysis.
+    let tasks = fixed_benchmarks_with(14, 2, 0x40B1, PeriodModel::MarginTight).remove(1);
+
+    // Cold: a fresh engine (empty memo bank) assesses the set once.
+    group.bench_function("cold_single", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let mut engine = MonitorEngine::new(config(1));
+            black_box(engine.submit(inline(id, &tasks)))
+        })
+    });
+
+    // Warm: the same engine re-assesses the set it has already seen;
+    // the banked memo answers most stability queries.
+    group.bench_function("warm_repeat", |b| {
+        let mut engine = MonitorEngine::new(config(1));
+        let mut id = 0u64;
+        id += 1;
+        engine.submit(inline(id, &tasks));
+        b.iter(|| {
+            id += 1;
+            black_box(engine.submit(inline(id, &tasks)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_vs_singleton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_window");
+    let sets = fixed_benchmarks_with(6, 16, 0x40B2, PeriodModel::MarginTight);
+
+    let drive = |batch_window: usize| -> Vec<Response> {
+        let mut engine = MonitorEngine::new(config(batch_window));
+        let mut out = Vec::new();
+        for (i, tasks) in sets.iter().enumerate() {
+            out.extend(engine.submit(inline(i as u64 + 1, tasks)));
+        }
+        out.extend(engine.flush());
+        out
+    };
+
+    // Same 16 distinct requests, processed as 16 singleton windows vs
+    // one 16-wide window (identical responses by contract).
+    group.bench_function("singleton_x16", |b| b.iter(|| black_box(drive(1))));
+    group.bench_function("batch_x16", |b| b.iter(|| black_box(drive(16))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold, bench_batch_vs_singleton);
+criterion_main!(benches);

@@ -16,7 +16,7 @@
 //! the worst-case one — rare, number-theoretic events. These detectors
 //! find and certify such events.
 
-use crate::analysis::{check_task, PriorityAssignment, TaskVerdict};
+use crate::analysis::{check_task, PriorityAssignment, StabilityChecker, TaskVerdict};
 use crate::stability::ControlTask;
 use csa_rta::Ticks;
 
@@ -90,18 +90,31 @@ pub fn find_interference_removal_anomaly(
     tasks: &[ControlTask],
     assignment: &PriorityAssignment,
 ) -> Option<AnomalyWitness> {
-    for i in 0..tasks.len() {
+    let mut checker = StabilityChecker::new(tasks);
+    find_interference_removal_anomaly_on(&mut checker, assignment)
+}
+
+/// [`find_interference_removal_anomaly`] over an existing (possibly
+/// warm) [`StabilityChecker`] — the memo-sharing variant used by the
+/// streaming census. Scans tasks and removals in exactly the same order
+/// as the one-shot form, so the returned witness is identical; the
+/// verdicts themselves are pure, so memo warmth cannot change them.
+pub fn find_interference_removal_anomaly_on(
+    checker: &mut StabilityChecker<'_>,
+    assignment: &PriorityAssignment,
+) -> Option<AnomalyWitness> {
+    for i in 0..checker.len() {
         let hp = assignment.hp_indices(i);
         if hp.is_empty() {
             continue;
         }
-        let before = check_task(tasks, i, &hp);
+        let before = checker.check(i, &hp);
         if !before.stable {
             continue;
         }
         for &j in &hp {
             let reduced: Vec<usize> = hp.iter().copied().filter(|&x| x != j).collect();
-            let after = check_task(tasks, i, &reduced);
+            let after = checker.check(i, &reduced);
             if !after.stable {
                 return Some(AnomalyWitness {
                     task: i,
@@ -125,17 +138,30 @@ pub fn find_priority_raise_anomaly(
     tasks: &[ControlTask],
     assignment: &PriorityAssignment,
 ) -> Option<AnomalyWitness> {
+    let mut checker = StabilityChecker::new(tasks);
+    find_priority_raise_anomaly_on(&mut checker, assignment)
+}
+
+/// [`find_priority_raise_anomaly`] over an existing (possibly warm)
+/// [`StabilityChecker`] — the memo-sharing variant used by the
+/// streaming census. Walks the same (above, below) pairs in the same
+/// top-down order as the one-shot form, so the returned witness is
+/// identical.
+pub fn find_priority_raise_anomaly_on(
+    checker: &mut StabilityChecker<'_>,
+    assignment: &PriorityAssignment,
+) -> Option<AnomalyWitness> {
     let order = assignment.highest_first();
     // Walk pairs (above, below) from the top; promoting `below` swaps it
     // with `above`.
     for w in order.windows(2) {
         let (above, below) = (w[0], w[1]);
-        let before = check_task(tasks, below, &assignment.hp_indices(below));
+        let before = checker.check(below, &assignment.hp_indices(below));
         if !before.stable {
             continue;
         }
         let promoted = assignment.with_swapped(above, below);
-        let after = check_task(tasks, below, &promoted.hp_indices(below));
+        let after = checker.check(below, &promoted.hp_indices(below));
         if !after.stable {
             return Some(AnomalyWitness {
                 task: below,

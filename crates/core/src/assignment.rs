@@ -194,10 +194,18 @@ pub fn backtracking_with_budget(
 
 /// Budgeted backtracking over an existing checker (whose memo may
 /// already be warm from earlier searches on the same task slice — the
-/// portfolio stages rely on this). Stats count only this run's checks;
-/// `cache_hits` is the delta accrued here, so sharing a checker changes
-/// nothing observable but wall-clock time and hit counts.
-pub(crate) fn backtracking_on_checker(
+/// portfolio stages and the `csa-monitor` service rely on this). Stats
+/// count only this run's checks; `cache_hits` is the delta accrued
+/// here, so sharing a checker changes nothing observable but wall-clock
+/// time and hit counts.
+///
+/// # Panics
+///
+/// Panics (inside the checker's bitmask path) if the set has more than
+/// [`MEMO_MAX_TASKS`] tasks; wide sets go through
+/// [`backtracking_with_budget`], which falls back to the reference
+/// search.
+pub fn backtracking_on_checker(
     checker: &mut StabilityChecker<'_>,
     order: CandidateOrder,
     max_checks: u64,
@@ -367,11 +375,25 @@ impl BacktrackSearch<'_, '_> {
 /// [`crate::is_valid_assignment`]; Table I counts how often verification
 /// fails.
 pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
-    let n = tasks.len();
-    if n > MEMO_MAX_TASKS {
+    if tasks.len() > MEMO_MAX_TASKS {
         return reference::unsafe_quadratic(tasks);
     }
     let mut checker = StabilityChecker::new(tasks);
+    unsafe_quadratic_on(&mut checker)
+}
+
+/// [`unsafe_quadratic`] over an existing checker (see
+/// [`backtracking_on_checker`] for the sharing contract): identical
+/// outcome, with `cache_hits` the delta accrued here.
+///
+/// # Panics
+///
+/// Panics (inside the checker's bitmask path) if the set has more than
+/// [`MEMO_MAX_TASKS`] tasks; wide sets go through [`unsafe_quadratic`],
+/// which falls back to the reference implementation.
+pub fn unsafe_quadratic_on(checker: &mut StabilityChecker<'_>) -> AssignmentOutcome {
+    let n = checker.len();
+    let hits_before = checker.cache_hits();
     let full = checker.full_mask();
     let mut stats = AssignmentStats::default();
     // Step 1: worst-case analysis of every task.
@@ -387,7 +409,7 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
     // higher-priority set is all other tasks). If even the best
     // candidate fails there, no assignment has a stable bottom task.
     if !verdicts[bottom_up[0]].stable {
-        stats.cache_hits = checker.cache_hits();
+        stats.cache_hits = checker.cache_hits() - hits_before;
         return AssignmentOutcome {
             assignment: None,
             stats,
@@ -407,7 +429,7 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
         if !verdicts[i].stable {
             stats.checks += 1;
             if !checker.check_mask(i, hp_of[i]).stable {
-                stats.cache_hits = checker.cache_hits();
+                stats.cache_hits = checker.cache_hits() - hits_before;
                 return AssignmentOutcome {
                     assignment: None,
                     stats,
@@ -415,7 +437,7 @@ pub fn unsafe_quadratic(tasks: &[ControlTask]) -> AssignmentOutcome {
             }
         }
     }
-    stats.cache_hits = checker.cache_hits();
+    stats.cache_hits = checker.cache_hits() - hits_before;
     AssignmentOutcome {
         assignment: Some(assignment),
         stats,
@@ -457,7 +479,14 @@ pub fn audsley_opa_with_budget(
 /// run gave up mid-level for lack of budget, not because a level was
 /// unfillable — its `None` means "unknown", exactly like a truncated
 /// backtracking run's.
-pub(crate) fn opa_on_checker(
+///
+/// # Panics
+///
+/// Panics (inside the checker's bitmask path) if the set has more than
+/// [`MEMO_MAX_TASKS`] tasks; wide sets go through
+/// [`audsley_opa_with_budget`], which falls back to the reference
+/// search.
+pub fn opa_on_checker(
     checker: &mut StabilityChecker<'_>,
     max_checks: u64,
 ) -> (AssignmentOutcome, bool) {

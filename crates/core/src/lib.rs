@@ -54,21 +54,23 @@ mod stability;
 
 pub use analysis::{
     analyze, check_task, is_valid_assignment, PriorityAssignment, StabilityChecker, TaskVerdict,
-    MEMO_MAX_TASKS,
+    VerdictMemo, MEMO_MAX_TASKS,
 };
 pub use anomaly::{
-    find_interference_removal_anomaly, find_period_increase_anomaly, find_priority_raise_anomaly,
+    find_interference_removal_anomaly, find_interference_removal_anomaly_on,
+    find_period_increase_anomaly, find_priority_raise_anomaly, find_priority_raise_anomaly_on,
     find_wcet_decrease_anomaly, verify_witness, AnomalyKind, AnomalyWitness,
 };
 pub use assignment::reference;
 pub use assignment::{
-    audsley_opa, audsley_opa_with_budget, backtracking, backtracking_with_budget,
-    backtracking_with_order, count_valid_assignments, exhaustive, unsafe_quadratic,
-    AssignmentOutcome, AssignmentStats, CandidateOrder, EXHAUSTIVE_MAX_TASKS,
+    audsley_opa, audsley_opa_with_budget, backtracking, backtracking_on_checker,
+    backtracking_with_budget, backtracking_with_order, count_valid_assignments, exhaustive,
+    opa_on_checker, unsafe_quadratic, unsafe_quadratic_on, AssignmentOutcome, AssignmentStats,
+    CandidateOrder, EXHAUSTIVE_MAX_TASKS,
 };
 pub use portfolio::{
-    portfolio, portfolio_with_budget, PortfolioOutcome, PortfolioStage, StageReport,
-    SLACK_PROBE_FACTOR,
+    portfolio, portfolio_on_checker, portfolio_with_budget, PortfolioOutcome, PortfolioStage,
+    StageReport, SLACK_PROBE_FACTOR,
 };
 pub use sensitivity::{
     max_stable_wcet_binary, max_stable_wcet_scan, system_slack, verify_sensitivity,

@@ -225,8 +225,33 @@ pub fn portfolio_with_budget(tasks: &[ControlTask], max_checks: u64) -> Portfoli
     }
 
     let mut checker = StabilityChecker::new(tasks);
+    portfolio_on_checker(&mut checker, max_checks)
+}
+
+/// [`portfolio_with_budget`] over an existing [`StabilityChecker`] —
+/// the memo-sharing entry point for streaming callers (the
+/// `csa-monitor` service seats one warm memo per task set across
+/// requests). The outcome is identical to a fresh-checker run on the
+/// same slice: memo warmth changes only `cache_hits`, never verdicts,
+/// logical check counts, or the truncation point.
+///
+/// # Panics
+///
+/// Panics if the checker's set has more than [`MEMO_MAX_TASKS`] tasks
+/// (wide sets cannot share the bitmask memo; use
+/// [`portfolio_with_budget`], which falls back to the reference
+/// search).
+pub fn portfolio_on_checker(
+    checker: &mut StabilityChecker<'_>,
+    max_checks: u64,
+) -> PortfolioOutcome {
+    let n = checker.len();
+    assert!(
+        n <= MEMO_MAX_TASKS,
+        "memo sharing requires a set of at most {MEMO_MAX_TASKS} tasks"
+    );
     let mut run = PortfolioRun {
-        checker: &mut checker,
+        checker,
         remaining: max_checks,
         stages: Vec::with_capacity(4),
         stats: AssignmentStats::default(),

@@ -19,8 +19,10 @@ use crate::orchestrate::{
 use crate::search::SearchConfig;
 use crate::witness::{Witness, WitnessKind};
 use csa_core::{
-    audsley_opa, find_interference_removal_anomaly, find_priority_raise_anomaly,
-    is_valid_assignment, unsafe_quadratic, verify_witness, ControlTask, StabilityChecker,
+    audsley_opa, find_interference_removal_anomaly, find_interference_removal_anomaly_on,
+    find_priority_raise_anomaly, find_priority_raise_anomaly_on, is_valid_assignment,
+    opa_on_checker, unsafe_quadratic, unsafe_quadratic_on, verify_witness, AssignmentOutcome,
+    ControlTask, StabilityChecker, MEMO_MAX_TASKS,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -126,8 +128,16 @@ pub struct CensusRow {
 /// (`csa_core::MEMO_MAX_TASKS`, far above any stock configuration)
 /// take the index-set path so arbitrary task counts keep working.
 pub fn has_certificate_lie(tasks: &[ControlTask]) -> bool {
-    let n = tasks.len();
     let mut checker = StabilityChecker::new(tasks);
+    has_certificate_lie_on(&mut checker)
+}
+
+/// [`has_certificate_lie`] over an existing (possibly warm)
+/// [`StabilityChecker`] — the memo-sharing variant used by the
+/// streaming census. Scans the same `(task, removal)` pairs in the same
+/// order; verdicts are pure, so the answer is identical.
+pub fn has_certificate_lie_on(checker: &mut StabilityChecker<'_>) -> bool {
+    let n = checker.len();
     if checker.memoized() {
         let full = checker.full_mask();
         for i in 0..n {
@@ -169,59 +179,182 @@ const CENSUS_COLUMNS: &[&str] = &[
     "truncated",
 ];
 
+/// Full anomaly-census classification of one task set — the
+/// per-instance kernel behind [`run_census`], exposed so streaming
+/// callers (the `csa-monitor` service) can reuse the exact batch-sweep
+/// verdict logic as a library call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceClassification {
+    /// Outcome of the configured search (the feasibility verdict; its
+    /// `stats.truncated` flag is the "unknown, not infeasible" marker).
+    pub outcome: AssignmentOutcome,
+    /// The set contains an interference-removal anomaly under the found
+    /// assignment.
+    pub interference_anomaly: bool,
+    /// The set contains a priority-raise anomaly under the found
+    /// assignment.
+    pub priority_raise_anomaly: bool,
+    /// Strict Audsley OPA failed although the configured search
+    /// succeeded.
+    pub opa_incomplete: bool,
+    /// Unsafe Quadratic emitted an invalid assignment.
+    pub unsafe_invalid: bool,
+    /// The set contains a certificate lie (see
+    /// [`has_certificate_lie`]).
+    pub certificate_lie: bool,
+}
+
+impl InstanceClassification {
+    /// `true` when the configured search found a valid assignment.
+    pub fn solvable(&self) -> bool {
+        self.outcome.assignment.is_some()
+    }
+
+    /// `true` when the search exhausted its budget without deciding.
+    pub fn truncated(&self) -> bool {
+        self.outcome.stats.truncated
+    }
+
+    /// Triggered witness kinds, in the historical collection order
+    /// (matching the witness corpus and the census counters).
+    pub fn kinds(&self) -> Vec<WitnessKind> {
+        [
+            (self.unsafe_invalid, WitnessKind::UnsafeInvalid),
+            (self.interference_anomaly, WitnessKind::InterferenceAnomaly),
+            (
+                self.priority_raise_anomaly,
+                WitnessKind::PriorityRaiseAnomaly,
+            ),
+            (self.opa_incomplete, WitnessKind::OpaIncomplete),
+            (self.certificate_lie, WitnessKind::CertificateLie),
+        ]
+        .into_iter()
+        .filter(|&(hit, _)| hit)
+        .map(|(_, kind)| kind)
+        .collect()
+    }
+}
+
+/// Classifies one task set exactly as the batch census does: the
+/// certificate-lie scan, the configured search, the anomaly detectors
+/// on the found assignment, OPA incompleteness, and the Unsafe
+/// Quadratic validity check. Sets of up to [`MEMO_MAX_TASKS`] tasks run
+/// every step on **one shared memoizing checker** (cross-step reuse;
+/// identical verdicts); wider sets use the per-call engines.
+pub fn classify_instance(tasks: &[ControlTask], search: &SearchConfig) -> InstanceClassification {
+    if tasks.len() <= MEMO_MAX_TASKS {
+        let mut checker = StabilityChecker::new(tasks);
+        return classify_instance_on(&mut checker, search);
+    }
+    // Wide sets cannot key the bitmask memo: mirror the shared-checker
+    // sequence with the one-shot engines (identical verdicts).
+    let certificate_lie = has_certificate_lie(tasks);
+    let bt = search.solve(tasks);
+    let (interference_anomaly, priority_raise_anomaly, opa_incomplete) = match &bt.assignment {
+        Some(pa) => {
+            let interf = match find_interference_removal_anomaly(tasks, pa) {
+                Some(w) => {
+                    debug_assert!(verify_witness(tasks, pa, &w));
+                    true
+                }
+                None => false,
+            };
+            (
+                interf,
+                find_priority_raise_anomaly(tasks, pa).is_some(),
+                audsley_opa(tasks).assignment.is_none(),
+            )
+        }
+        None => (false, false, false),
+    };
+    let unsafe_invalid = match unsafe_quadratic(tasks).assignment {
+        Some(pa) => !is_valid_assignment(tasks, &pa),
+        None => false,
+    };
+    InstanceClassification {
+        outcome: bt,
+        interference_anomaly,
+        priority_raise_anomaly,
+        opa_incomplete,
+        unsafe_invalid,
+        certificate_lie,
+    }
+}
+
+/// [`classify_instance`] over an existing (possibly warm)
+/// [`StabilityChecker`] — the memo-sharing entry point the streaming
+/// service uses to keep one warm memo per task set across requests.
+/// Every step is pure in the verdicts, so warmth changes only cache-hit
+/// telemetry, never the classification.
+///
+/// # Panics
+///
+/// Panics if the checker's set has more than [`MEMO_MAX_TASKS`] tasks;
+/// wide sets must go through [`classify_instance`].
+pub fn classify_instance_on(
+    checker: &mut StabilityChecker<'_>,
+    search: &SearchConfig,
+) -> InstanceClassification {
+    let tasks = checker.tasks();
+    let certificate_lie = has_certificate_lie_on(checker);
+    let bt = search.solve_on(checker);
+    let (interference_anomaly, priority_raise_anomaly, opa_incomplete) = match &bt.assignment {
+        Some(pa) => {
+            let interf = match find_interference_removal_anomaly_on(checker, pa) {
+                Some(w) => {
+                    debug_assert!(verify_witness(tasks, pa, &w));
+                    true
+                }
+                None => false,
+            };
+            (
+                interf,
+                find_priority_raise_anomaly_on(checker, pa).is_some(),
+                opa_on_checker(checker, u64::MAX).0.assignment.is_none(),
+            )
+        }
+        None => (false, false, false),
+    };
+    let unsafe_invalid = match unsafe_quadratic_on(checker).assignment {
+        Some(pa) => {
+            // Validity through the shared checker: same verdicts as
+            // `is_valid_assignment`, warmed for the next request.
+            !(0..checker.len()).all(|i| checker.check(i, &pa.hp_indices(i)).stable)
+        }
+        None => false,
+    };
+    InstanceClassification {
+        outcome: bt,
+        interference_anomaly,
+        priority_raise_anomaly,
+        opa_incomplete,
+        unsafe_invalid,
+        certificate_lie,
+    }
+}
+
 /// Evaluates one benchmark instance of the census sweep: generates the
-/// task set from `rng_seed`, runs the anomaly detectors, and emits a
+/// task set from `rng_seed`, runs [`classify_instance`], and emits a
 /// [`Witness`] per triggered event (in [`WitnessKind`] declaration
 /// order, matching the historical collection order).
 fn census_instance(config: &CensusConfig, n: usize, k: usize, rng_seed: u64) -> InstanceOutput {
     let bench_cfg = BenchmarkConfig::with_model(n, config.profile);
     let mut rng = StdRng::seed_from_u64(rng_seed);
     let tasks = generate_benchmark(&bench_cfg, &mut rng);
-    let certificate_lie = has_certificate_lie(&tasks);
-    let bt = config.search.solve(&tasks);
-    let (solvable, interference_anomaly, priority_raise_anomaly, opa_incomplete) =
-        match &bt.assignment {
-            Some(pa) => {
-                let interf = match find_interference_removal_anomaly(&tasks, pa) {
-                    Some(w) => {
-                        debug_assert!(verify_witness(&tasks, pa, &w));
-                        true
-                    }
-                    None => false,
-                };
-                (
-                    true,
-                    interf,
-                    find_priority_raise_anomaly(&tasks, pa).is_some(),
-                    audsley_opa(&tasks).assignment.is_none(),
-                )
-            }
-            None => (false, false, false, false),
-        };
-    let unsafe_invalid = match unsafe_quadratic(&tasks).assignment {
-        Some(pa) => !is_valid_assignment(&tasks, &pa),
-        None => false,
-    };
+    let c = classify_instance(&tasks, &config.search);
     let counts = vec![
-        u64::from(solvable),
-        u64::from(interference_anomaly),
-        u64::from(priority_raise_anomaly),
-        u64::from(opa_incomplete),
-        u64::from(unsafe_invalid),
-        u64::from(certificate_lie),
-        u64::from(bt.stats.truncated),
+        u64::from(c.solvable()),
+        u64::from(c.interference_anomaly),
+        u64::from(c.priority_raise_anomaly),
+        u64::from(c.opa_incomplete),
+        u64::from(c.unsafe_invalid),
+        u64::from(c.certificate_lie),
+        u64::from(c.truncated()),
     ];
-    let kinds = [
-        (unsafe_invalid, WitnessKind::UnsafeInvalid),
-        (interference_anomaly, WitnessKind::InterferenceAnomaly),
-        (priority_raise_anomaly, WitnessKind::PriorityRaiseAnomaly),
-        (opa_incomplete, WitnessKind::OpaIncomplete),
-        (certificate_lie, WitnessKind::CertificateLie),
-    ];
-    let witnesses = kinds
+    let witnesses = c
+        .kinds()
         .into_iter()
-        .filter(|&(hit, _)| hit)
-        .map(|(_, kind)| Witness {
+        .map(|kind| Witness {
             kind,
             profile: config.profile,
             seed: config.seed,

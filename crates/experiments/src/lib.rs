@@ -98,8 +98,9 @@ mod witness;
 
 pub use benchgen::{generate_benchmark, BenchmarkConfig, PeriodModel};
 pub use census::{
-    format_census, has_certificate_lie, run_census, run_census_collecting, run_census_orchestrated,
-    run_census_with_threads, CensusConfig, CensusRow,
+    classify_instance, classify_instance_on, format_census, has_certificate_lie,
+    has_certificate_lie_on, run_census, run_census_collecting, run_census_orchestrated,
+    run_census_with_threads, CensusConfig, CensusRow, InstanceClassification,
 };
 pub use checkpoint::{
     journal_path, write_quarantine_file, CheckpointStale, QuarantineReason, QuarantinedInstance,
@@ -140,4 +141,7 @@ pub use table1::{
     format_table1, run_table1, run_table1_collecting, run_table1_orchestrated,
     run_table1_with_threads, Table1Config, Table1Row,
 };
-pub use witness::{parse_witness_corpus, write_witness_file, Witness, WitnessKind};
+pub use witness::{
+    format_task_list, parse_task_list, parse_witness_corpus, write_witness_file, Witness,
+    WitnessKind,
+};

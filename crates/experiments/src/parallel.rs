@@ -114,7 +114,11 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// The sweep orchestrator (`orchestrate.rs`) routes every shard through
 /// this variant and records `Err` slots as quarantined instances with
-/// their replay seeds (DESIGN.md §11).
+/// their replay seeds (DESIGN.md §11); the `csa-monitor` service does
+/// the same for its batch stages, surfacing each `Err` slot to the
+/// caller as a quarantine event carrying the replayable `{:016x}` seed
+/// (DESIGN.md §14) — the `Err` payload is the panic message alone, so
+/// callers needing replay coordinates must derive them from the index.
 ///
 /// # Examples
 ///

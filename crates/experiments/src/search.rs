@@ -12,8 +12,9 @@
 //! untouched — a sweep stays a pure function of its configuration.
 
 use csa_core::{
-    audsley_opa_with_budget, backtracking_with_budget, portfolio_with_budget, AssignmentOutcome,
-    CandidateOrder, ControlTask,
+    audsley_opa_with_budget, backtracking_on_checker, backtracking_with_budget, opa_on_checker,
+    portfolio_on_checker, portfolio_with_budget, AssignmentOutcome, CandidateOrder, ControlTask,
+    StabilityChecker,
 };
 
 /// Which assignment search a sweep runs per benchmark instance.
@@ -127,6 +128,34 @@ impl SearchConfig {
                 }
             }
             SearchMode::Opa => audsley_opa_with_budget(tasks, self.budget).0,
+        }
+    }
+
+    /// [`Self::solve`] over an existing (possibly warm)
+    /// [`StabilityChecker`] — the memo-sharing entry point used by the
+    /// streaming census and the `csa-monitor` service. The outcome is
+    /// identical to [`Self::solve`] on the same task slice: memo warmth
+    /// changes only cache-hit telemetry, never the assignment, the
+    /// logical check count, or the truncation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checker's set has more than
+    /// [`csa_core::MEMO_MAX_TASKS`] tasks; wide sets must go through
+    /// [`Self::solve`], which falls back to the reference searches.
+    pub fn solve_on(&self, checker: &mut StabilityChecker<'_>) -> AssignmentOutcome {
+        match self.mode {
+            SearchMode::Backtracking => {
+                backtracking_on_checker(checker, CandidateOrder::Input, self.budget).0
+            }
+            SearchMode::Portfolio => {
+                let out = portfolio_on_checker(checker, self.budget);
+                AssignmentOutcome {
+                    assignment: out.assignment,
+                    stats: out.stats,
+                }
+            }
+            SearchMode::Opa => opa_on_checker(checker, self.budget).0,
         }
     }
 }

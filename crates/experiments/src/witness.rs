@@ -105,26 +105,15 @@ impl Witness {
     /// Serializes the witness as one line (see the module docs for the
     /// format guarantees).
     pub fn to_line(&self) -> String {
-        let mut out = format!(
-            "{WITNESS_TAG}|{}|{}|{}|{}|{}|",
-            self.kind, self.profile, self.seed, self.n, self.index
-        );
-        for (i, t) in self.tasks.iter().enumerate() {
-            if i > 0 {
-                out.push(';');
-            }
-            let _ = write!(
-                out,
-                "{}:{}:{}:{}:{:016x}:{:016x}",
-                t.label(),
-                t.task().c_best().get(),
-                t.task().c_worst().get(),
-                t.task().period().get(),
-                t.bound().a().to_bits(),
-                t.bound().b().to_bits(),
-            );
-        }
-        out
+        format!(
+            "{WITNESS_TAG}|{}|{}|{}|{}|{}|{}",
+            self.kind,
+            self.profile,
+            self.seed,
+            self.n,
+            self.index,
+            format_task_list(&self.tasks)
+        )
     }
 
     /// Parses one witness line.
@@ -151,10 +140,7 @@ impl Witness {
         if fields.next().is_some() {
             return Err("trailing fields after task list".to_string());
         }
-        let mut tasks = Vec::new();
-        for (i, ts) in tasks_s.split(';').enumerate() {
-            tasks.push(parse_task(ts, i)?);
-        }
+        let tasks = parse_task_list(tasks_s)?;
         if tasks.len() != n {
             return Err(format!("n = {n} but {} tasks serialized", tasks.len()));
         }
@@ -178,6 +164,45 @@ fn parse_f64_bits(s: &str, what: &str) -> Result<f64, String> {
     u64::from_str_radix(s, 16)
         .map(f64::from_bits)
         .map_err(|e| format!("bad {what} {s:?}: {e}"))
+}
+
+/// Serializes a task set in the witness line's task-list syntax
+/// (`label:cb:cw:T:a_bits:b_bits` entries joined by `;`, floats as
+/// IEEE-754 bit patterns in hex — lossless). The inverse of
+/// [`parse_task_list`]; also the inline task payload of the
+/// `csa-monitor` JSONL requests.
+pub fn format_task_list(tasks: &[ControlTask]) -> String {
+    let mut out = String::new();
+    for (i, t) in tasks.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        let _ = write!(
+            out,
+            "{}:{}:{}:{}:{:016x}:{:016x}",
+            t.label(),
+            t.task().c_best().get(),
+            t.task().c_worst().get(),
+            t.task().period().get(),
+            t.bound().a().to_bits(),
+            t.bound().b().to_bits(),
+        );
+    }
+    out
+}
+
+/// Parses a [`format_task_list`] string back into the task set (task
+/// ids reassigned by position, exactly as witness parsing always has).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn parse_task_list(s: &str) -> Result<Vec<ControlTask>, String> {
+    let mut tasks = Vec::new();
+    for (i, ts) in s.split(';').enumerate() {
+        tasks.push(parse_task(ts, i)?);
+    }
+    Ok(tasks)
 }
 
 fn parse_task(s: &str, index: usize) -> Result<ControlTask, String> {

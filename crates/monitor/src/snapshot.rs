@@ -1,0 +1,438 @@
+//! Crash-safe persistence of the monitor's learned state.
+//!
+//! The snapshot (`csamon1`) freezes exactly the state that must survive
+//! a restart for the response stream to continue bit-identically: the
+//! baseline lifecycle (raw building samples or locked statistics), the
+//! drift window, the per-class event machine, and the stream counters.
+//! It deliberately **excludes** the warm memo bank and the
+//! logical/computed check telemetry — warmth affects latency only, so
+//! a resumed service converges to the same bytes with a cold bank.
+//!
+//! The fingerprint header pins every configuration knob that *does*
+//! shape the stream (search mode, budget, lock thresholds, event
+//! thresholds); `threads`, `batch_window` and `memo_tables` are omitted
+//! because the determinism contract makes them irrelevant. Writes go
+//! through `write_atomic` (tmp + rename), so a kill mid-snapshot leaves
+//! either the old file or the new one, never a torn state — the
+//! `service_faults` suite drives this with injected crashes.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+
+use csa_experiments::write_atomic;
+
+use crate::baseline::{Baseline, BaselineState, CellStats, Lifecycle, LockedCell};
+use crate::engine::{EventState, MonitorConfig, MonitorEngine};
+use crate::request::Metric;
+
+/// Magic tag of the snapshot format.
+pub const SNAPSHOT_TAG: &str = "csamon1";
+
+/// File name of the snapshot inside a `--snapshot-dir`.
+pub const SNAPSHOT_FILE: &str = "monitor.csamon";
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotStale {
+    /// No snapshot file present.
+    Missing,
+    /// A fingerprint header field disagrees with the running
+    /// configuration (named field).
+    Mismatch(String),
+    /// The file is not a well-formed `csamon1` snapshot.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotStale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotStale::Missing => f.write_str("no snapshot present"),
+            SnapshotStale::Mismatch(field) => {
+                write!(f, "snapshot fingerprint mismatch on {field}")
+            }
+            SnapshotStale::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+/// Path of the snapshot file inside `dir`.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+fn header(config: &MonitorConfig) -> String {
+    format!(
+        "{SNAPSHOT_TAG}|search={}|budget={}|min_samples={}|min_coverage={}|z={:016x}|persistence={}|cooldown={}|drift_window={}|drift_threshold={:016x}",
+        config.search.mode.name(),
+        config.search.budget,
+        config.min_samples,
+        config.min_coverage,
+        config.z_threshold.to_bits(),
+        config.persistence,
+        config.cooldown,
+        config.drift_window,
+        config.drift_threshold.to_bits(),
+    )
+}
+
+/// Serializes the engine's durable state as a `csamon1` document.
+pub fn snapshot_string(engine: &MonitorEngine) -> String {
+    let mut out = String::new();
+    out.push_str(&header(&engine.config));
+    out.push('\n');
+    out.push_str(&format!(
+        "m|{}|{}|{}|{}\n",
+        engine.baseline.lifecycle().name(),
+        engine.processed,
+        engine.events_emitted,
+        engine.quarantined
+    ));
+    match &engine.baseline.state {
+        BaselineState::Building {
+            cells,
+            seen,
+            truncated,
+        } => {
+            out.push_str(&format!("t|{seen}|{truncated}\n"));
+            for ((n, profile), samples) in cells {
+                let body = samples
+                    .iter()
+                    .map(|[s, ns]| format!("{:016x}:{:016x}", s.to_bits(), ns.to_bits()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!("b|{n}|{profile}|{body}\n"));
+            }
+        }
+        BaselineState::Locked {
+            cells,
+            truncation_rate,
+            samples,
+        } => {
+            out.push_str(&format!("T|{:016x}|{samples}\n", truncation_rate.to_bits()));
+            for ((n, profile), cell) in cells {
+                let s = cell.stats[Metric::Slack.index()];
+                let ns = cell.stats[Metric::NormSlack.index()];
+                out.push_str(&format!(
+                    "L|{n}|{profile}|{}|{:016x}|{:016x}|{:016x}|{:016x}\n",
+                    s.count,
+                    s.mean.to_bits(),
+                    s.std.to_bits(),
+                    ns.mean.to_bits(),
+                    ns.std.to_bits(),
+                ));
+            }
+        }
+    }
+    let window: String = engine
+        .window
+        .iter()
+        .map(|&t| if t { '1' } else { '0' })
+        .collect();
+    out.push_str(&format!("w|{window}\n"));
+    for (class, state) in &engine.events_state {
+        let last = match state.last_fired {
+            Some(seq) => format!("{seq}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!("e|{class}|{}|{last}\n", state.streak));
+    }
+    out
+}
+
+/// Atomically writes the engine's snapshot into `dir`.
+pub fn save(engine: &MonitorEngine, dir: &Path) -> std::io::Result<()> {
+    write_atomic(&snapshot_path(dir), &snapshot_string(engine))
+}
+
+/// Restores an engine from snapshot text, verifying the configuration
+/// fingerprint field by field (first mismatch is named).
+pub fn restore(config: MonitorConfig, text: &str) -> Result<MonitorEngine, SnapshotStale> {
+    let mut lines = text.lines();
+    let head = lines
+        .next()
+        .ok_or_else(|| SnapshotStale::Malformed("empty file".to_string()))?;
+    check_header(&config, head)?;
+
+    let meta = lines
+        .next()
+        .ok_or_else(|| SnapshotStale::Malformed("missing state line".to_string()))?;
+    let meta: Vec<&str> = meta.split('|').collect();
+    if meta.len() != 5 || meta[0] != "m" {
+        return Err(SnapshotStale::Malformed("bad state line".to_string()));
+    }
+    let lifecycle = Lifecycle::parse(meta[1])
+        .ok_or_else(|| SnapshotStale::Malformed(format!("bad lifecycle {:?}", meta[1])))?;
+    let processed = parse_u64(meta[2], "processed")?;
+    let events_emitted = parse_u64(meta[3], "events_emitted")?;
+    let quarantined = parse_u64(meta[4], "quarantined")?;
+
+    let mut engine = MonitorEngine::new(config);
+    engine.processed = processed;
+    engine.events_emitted = events_emitted;
+    engine.quarantined = quarantined;
+
+    let mut building_cells: BTreeMap<(usize, String), Vec<[f64; 2]>> = BTreeMap::new();
+    let mut locked_cells: BTreeMap<(usize, String), LockedCell> = BTreeMap::new();
+    let mut totals: Option<(u64, u64)> = None;
+    let mut locked_totals: Option<(f64, u64)> = None;
+    let mut window = VecDeque::new();
+    let mut events_state = BTreeMap::new();
+
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        match fields[0] {
+            "t" if fields.len() == 3 => {
+                totals = Some((
+                    parse_u64(fields[1], "seen")?,
+                    parse_u64(fields[2], "truncated")?,
+                ));
+            }
+            "T" if fields.len() == 3 => {
+                locked_totals = Some((
+                    parse_f64_bits(fields[1], "truncation_rate")?,
+                    parse_u64(fields[2], "samples")?,
+                ));
+            }
+            "b" if fields.len() == 4 => {
+                let n = parse_u64(fields[1], "cell n")? as usize;
+                let mut samples = Vec::new();
+                if !fields[3].is_empty() {
+                    for pair in fields[3].split(',') {
+                        let (s, ns) = pair.split_once(':').ok_or_else(|| {
+                            SnapshotStale::Malformed("bad sample pair".to_string())
+                        })?;
+                        samples.push([
+                            parse_f64_bits(s, "sample slack")?,
+                            parse_f64_bits(ns, "sample norm-slack")?,
+                        ]);
+                    }
+                }
+                building_cells.insert((n, fields[2].to_string()), samples);
+            }
+            "L" if fields.len() == 8 => {
+                let n = parse_u64(fields[1], "cell n")? as usize;
+                let count = parse_u64(fields[3], "cell count")?;
+                let cell = LockedCell {
+                    stats: [
+                        CellStats {
+                            count,
+                            mean: parse_f64_bits(fields[4], "slack mean")?,
+                            std: parse_f64_bits(fields[5], "slack std")?,
+                        },
+                        CellStats {
+                            count,
+                            mean: parse_f64_bits(fields[6], "norm-slack mean")?,
+                            std: parse_f64_bits(fields[7], "norm-slack std")?,
+                        },
+                    ],
+                };
+                locked_cells.insert((n, fields[2].to_string()), cell);
+            }
+            "w" if fields.len() == 2 => {
+                for c in fields[1].chars() {
+                    match c {
+                        '0' => window.push_back(false),
+                        '1' => window.push_back(true),
+                        _ => {
+                            return Err(SnapshotStale::Malformed(
+                                "bad drift-window bit".to_string(),
+                            ))
+                        }
+                    }
+                }
+            }
+            "e" if fields.len() == 4 => {
+                let last_fired = if fields[3] == "-" {
+                    None
+                } else {
+                    Some(parse_u64(fields[3], "last_fired")?)
+                };
+                events_state.insert(
+                    fields[1].to_string(),
+                    EventState {
+                        streak: parse_u64(fields[2], "streak")?,
+                        last_fired,
+                    },
+                );
+            }
+            tag => {
+                return Err(SnapshotStale::Malformed(format!(
+                    "unknown line tag {tag:?}"
+                )));
+            }
+        }
+    }
+
+    let min_samples = engine.config.min_samples;
+    let min_coverage = engine.config.min_coverage;
+    engine.baseline = match lifecycle {
+        Lifecycle::Building => {
+            let (seen, truncated) =
+                totals.ok_or_else(|| SnapshotStale::Malformed("missing 't' line".to_string()))?;
+            Baseline {
+                min_samples,
+                min_coverage: min_coverage.max(1),
+                state: BaselineState::Building {
+                    cells: building_cells,
+                    seen,
+                    truncated,
+                },
+            }
+        }
+        Lifecycle::Locked => {
+            let (truncation_rate, samples) = locked_totals
+                .ok_or_else(|| SnapshotStale::Malformed("missing 'T' line".to_string()))?;
+            Baseline {
+                min_samples,
+                min_coverage: min_coverage.max(1),
+                state: BaselineState::Locked {
+                    cells: locked_cells,
+                    truncation_rate,
+                    samples,
+                },
+            }
+        }
+    };
+    engine.window = window;
+    engine.events_state = events_state;
+    Ok(engine)
+}
+
+/// Loads and restores the snapshot inside `dir`, if any.
+pub fn load(config: MonitorConfig, dir: &Path) -> Result<MonitorEngine, SnapshotStale> {
+    let path = snapshot_path(dir);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => restore(config, &text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(SnapshotStale::Missing),
+        Err(e) => Err(SnapshotStale::Malformed(format!("unreadable: {e}"))),
+    }
+}
+
+fn check_header(config: &MonitorConfig, head: &str) -> Result<(), SnapshotStale> {
+    let expected = header(config);
+    if head == expected {
+        return Ok(());
+    }
+    let stored: Vec<&str> = head.split('|').collect();
+    let wanted: Vec<&str> = expected.split('|').collect();
+    if stored.first() != Some(&SNAPSHOT_TAG) {
+        return Err(SnapshotStale::Malformed(format!(
+            "unknown tag {:?}",
+            stored.first().copied().unwrap_or("")
+        )));
+    }
+    for want in &wanted[1..] {
+        let Some((field, _)) = want.split_once('=') else {
+            continue;
+        };
+        let found = stored[1..]
+            .iter()
+            .find(|s| s.split_once('=').map(|(f, _)| f) == Some(field));
+        match found {
+            Some(got) if got == want => {}
+            _ => return Err(SnapshotStale::Mismatch(field.to_string())),
+        }
+    }
+    Err(SnapshotStale::Mismatch("header layout".to_string()))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, SnapshotStale> {
+    s.parse()
+        .map_err(|_| SnapshotStale::Malformed(format!("bad {what}: {s:?}")))
+}
+
+fn parse_f64_bits(s: &str, what: &str) -> Result<f64, SnapshotStale> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| SnapshotStale::Malformed(format!("bad {what}: {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Payload, Request};
+    use csa_experiments::PeriodModel;
+
+    fn run_engine(count: usize, min_samples: u64) -> MonitorEngine {
+        let mut engine = MonitorEngine::new(MonitorConfig {
+            batch_window: 4,
+            min_samples,
+            ..MonitorConfig::default()
+        });
+        for k in 0..count {
+            engine.submit(Request {
+                id: k as u64 + 1,
+                payload: Payload::Generated {
+                    profile: PeriodModel::MarginTight,
+                    seed: 7,
+                    n: 4,
+                    index: k,
+                },
+            });
+        }
+        engine.flush();
+        engine
+    }
+
+    #[test]
+    fn building_snapshot_round_trips() {
+        let engine = run_engine(6, 1_000);
+        assert_eq!(engine.lifecycle(), Lifecycle::Building);
+        let text = snapshot_string(&engine);
+        let restored = restore(engine.config().clone(), &text).unwrap();
+        assert_eq!(snapshot_string(&restored), text);
+        assert_eq!(restored.processed(), engine.processed());
+        assert_eq!(restored.baseline(), engine.baseline());
+    }
+
+    #[test]
+    fn locked_snapshot_round_trips() {
+        let engine = run_engine(16, 4);
+        assert_eq!(engine.lifecycle(), Lifecycle::Locked);
+        let text = snapshot_string(&engine);
+        let restored = restore(engine.config().clone(), &text).unwrap();
+        assert_eq!(snapshot_string(&restored), text);
+        assert_eq!(restored.baseline(), engine.baseline());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_names_the_field() {
+        let engine = run_engine(2, 1_000);
+        let text = snapshot_string(&engine);
+        let mut other = engine.config().clone();
+        other.cooldown += 1;
+        assert_eq!(
+            restore(other, &text).err(),
+            Some(SnapshotStale::Mismatch("cooldown".to_string()))
+        );
+        // Latency-only knobs are not fingerprinted.
+        let mut latency_only = engine.config().clone();
+        latency_only.threads = 7;
+        latency_only.batch_window = 1;
+        latency_only.memo_tables = 3;
+        assert!(restore(latency_only, &text).is_ok());
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        let engine = run_engine(2, 1_000);
+        let config = engine.config().clone();
+        assert!(matches!(
+            restore(config.clone(), ""),
+            Err(SnapshotStale::Malformed(_))
+        ));
+        assert!(matches!(
+            restore(config.clone(), "csaw1|nope"),
+            Err(SnapshotStale::Malformed(_))
+        ));
+        let good = snapshot_string(&engine);
+        let truncated: String = good.lines().take(1).collect();
+        assert!(matches!(
+            restore(config, &truncated),
+            Err(SnapshotStale::Malformed(_))
+        ));
+    }
+}

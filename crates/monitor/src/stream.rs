@@ -1,0 +1,111 @@
+//! Deterministic request-stream generator for tests, benches, and the
+//! CI smoke run.
+//!
+//! Streams mirror the census sweep's instance addressing: request `k`
+//! (1-based id `k+1`) draws its task count round-robin from
+//! `task_counts` and becomes `Payload::Generated` with the per-`n`
+//! instance index that the batch sweeps would use — so a generated
+//! stream exercises exactly the instances of the equivalent sweep and
+//! its verdicts can be pinned differentially against it.
+
+use std::collections::BTreeMap;
+
+use csa_experiments::PeriodModel;
+
+use crate::request::{Payload, Request};
+
+/// Configuration of a generated request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Number of requests to generate.
+    pub count: usize,
+    /// Base seed (`instance_seed(seed, n, index)` addressing).
+    pub seed: u64,
+    /// Task counts cycled round-robin across the stream.
+    pub task_counts: Vec<usize>,
+    /// Benchmark generator profile.
+    pub profile: PeriodModel,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            count: 200,
+            seed: 7,
+            task_counts: vec![4],
+            profile: PeriodModel::MarginTight,
+        }
+    }
+}
+
+/// Generates the deterministic request stream for `config`.
+pub fn generate_stream(config: &StreamConfig) -> Vec<Request> {
+    let counts = if config.task_counts.is_empty() {
+        vec![4]
+    } else {
+        config.task_counts.clone()
+    };
+    let mut per_n: BTreeMap<usize, usize> = BTreeMap::new();
+    (0..config.count)
+        .map(|k| {
+            let n = counts[k % counts.len()];
+            let slot = per_n.entry(n).or_insert(0);
+            let index = *slot;
+            *slot += 1;
+            Request {
+                id: k as u64 + 1,
+                payload: Payload::Generated {
+                    profile: config.profile,
+                    seed: config.seed,
+                    n,
+                    index,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_round_robin() {
+        let config = StreamConfig {
+            count: 7,
+            seed: 9,
+            task_counts: vec![4, 6],
+            profile: PeriodModel::Continuous,
+        };
+        let a = generate_stream(&config);
+        let b = generate_stream(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a[0].id, 1);
+        // Round-robin n with per-n instance indices.
+        let coords: Vec<(usize, usize)> = a
+            .iter()
+            .map(|r| match r.payload {
+                Payload::Generated { n, index, .. } => (n, index),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            coords,
+            vec![(4, 0), (6, 0), (4, 1), (6, 1), (4, 2), (6, 2), (4, 3)]
+        );
+    }
+
+    #[test]
+    fn empty_task_counts_fall_back_to_n4() {
+        let config = StreamConfig {
+            count: 2,
+            task_counts: Vec::new(),
+            ..StreamConfig::default()
+        };
+        let stream = generate_stream(&config);
+        assert!(stream
+            .iter()
+            .all(|r| matches!(r.payload, Payload::Generated { n: 4, .. })));
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`core`] — the paper's contribution: the `L + aJ <= b` stability
 //!   condition, anomaly detection, and priority-assignment algorithms;
 //! * [`experiments`] — harnesses regenerating the paper's Table I and
-//!   Figures 2, 4, 5.
+//!   Figures 2, 4, 5;
+//! * [`monitor`] — online anomaly-monitoring service: streaming
+//!   admission control with learned baselines and typed anomaly
+//!   events.
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -43,5 +46,6 @@ pub use csa_control as control;
 pub use csa_core as core;
 pub use csa_experiments as experiments;
 pub use csa_linalg as linalg;
+pub use csa_monitor as monitor;
 pub use csa_rta as rta;
 pub use csa_sim as sim;
